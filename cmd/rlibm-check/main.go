@@ -1,0 +1,115 @@
+// Command rlibm-check verifies one function of one library implementation
+// against the arbitrary-precision oracle over a chosen format, exhaustively
+// or by sampling, for any subset of rounding modes.
+//
+//	rlibm-check -func exp -format F19,8 -modes rn,rz
+//	rlibm-check -func log2 -lib crlibm -format F25,8 -samples 1000000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/bigmath"
+	"repro/internal/fp"
+	"repro/internal/libm"
+	"repro/internal/oracle"
+	"repro/internal/verify"
+)
+
+type crAdapter struct{ lib baseline.CRLibm }
+
+func (c crAdapter) Bits(x float64, out fp.Format, mode fp.Mode) uint64 {
+	return c.lib.Bits(x, out, mode)
+}
+
+func main() {
+	var (
+		fnName  = flag.String("func", "exp", "function to check")
+		lib     = flag.String("lib", "prog", "library: prog, rlibm-all, glibc, intel, crlibm")
+		format  = flag.String("format", "F16,8", "target format, e.g. F19,8")
+		modes   = flag.String("modes", "rn,ra,rz,ru,rd", "comma-separated rounding modes")
+		samples = flag.Int("samples", 0, "sample count (0 = exhaustive)")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	fn, err := bigmath.ParseFunc(*fnName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := fp.ParseFormat(*format)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ms []fp.Mode
+	for _, name := range strings.Split(*modes, ",") {
+		m, err := fp.ParseMode(strings.TrimSpace(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		ms = append(ms, m)
+	}
+
+	var impl verify.Impl
+	switch *lib {
+	case "prog":
+		res, err := libm.Progressive(fn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		impl = verify.NewGenImpl(res)
+	case "rlibm-all":
+		res, err := libm.RLibmAll(fn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		impl = verify.NewGenImpl(res)
+	case "glibc":
+		impl = baseline.MathLibm{Fn: fn}
+	case "intel":
+		impl = baseline.DDLibm{Fn: fn}
+	case "crlibm":
+		impl = crAdapter{baseline.CRLibm{Fn: fn}}
+	default:
+		log.Fatalf("unknown library %q", *lib)
+	}
+
+	orc := oracle.New(fn)
+	var reports []verify.Report
+	if *samples > 0 {
+		reports = verify.Sampled(impl, orc, f, ms, *samples, *seed)
+	} else {
+		reports = verify.Exhaustive(impl, orc, f, ms)
+	}
+	bad := false
+	for _, r := range reports {
+		fmt.Printf("%s(%v) %s\n", fn, f, r)
+		if !r.Correct() {
+			bad = true
+			for i, b := range r.Mismatches {
+				if i >= 8 {
+					fmt.Printf("  … %d more\n", len(r.Mismatches)-8)
+					break
+				}
+				x := f.Decode(b)
+				fmt.Printf("  input %#x (%g): got %#x want %#x\n",
+					b, x, impl.Bits(x, f, r.Mode), wantBits(orc, x, f, r.Mode))
+			}
+		}
+	}
+	st := orc.Stats()
+	fmt.Printf("oracle paths: %+v\n", st)
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func wantBits(orc *oracle.Oracle, x float64, f fp.Format, mode fp.Mode) uint64 {
+	ext := f.Extend(2)
+	return f.FromFloat64(ext.Decode(orc.Result(x, ext, fp.RoundToOdd)), mode)
+}

@@ -1,0 +1,202 @@
+// Command rlibm-fig4 regenerates Figure 4 of the paper: the speedup of
+// RLIBM-Prog's bfloat16, tensorfloat32 and largest-format ("float")
+// functions over (a) the glibc substitute, (b) the Intel substitute,
+// (c) the CR-LIBM substitute and (d) the RLibm-All baseline.
+//
+// Timing follows the paper's methodology in spirit: for every function and
+// format, the total time to compute the function over a fixed corpus of
+// valid inputs, here measured with monotonic-clock batches instead of
+// rdtscp cycles.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/bigmath"
+	"repro/internal/fp"
+	"repro/internal/gen"
+	"repro/internal/libm"
+)
+
+const corpusSize = 4096
+
+// corpus returns input values of format f drawn from the function's
+// interesting domain (where the polynomial path runs; the same corpus is
+// fed to every library).
+func corpus(fn bigmath.Func, f fp.Format, rng *rand.Rand) []float64 {
+	out := make([]float64, 0, corpusSize)
+	for len(out) < corpusSize {
+		var x float64
+		switch fn {
+		case bigmath.Ln, bigmath.Log2, bigmath.Log10:
+			x = math.Ldexp(rng.Float64()+0.5, rng.Intn(200)-100)
+		case bigmath.Exp, bigmath.Exp2, bigmath.Exp10:
+			x = (rng.Float64()*2 - 1) * 70
+		case bigmath.Sinh, bigmath.Cosh:
+			x = (rng.Float64()*2 - 1) * 80
+		default:
+			x = (rng.Float64()*2 - 1) * 16
+		}
+		x = f.Decode(f.FromFloat64(x, fp.RoundNearestEven))
+		if math.IsNaN(x) || math.IsInf(x, 0) || x == 0 {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// timeIt measures ns/op of f over repeated batches.
+func timeIt(f func()) float64 {
+	// Warm up.
+	f()
+	best := math.Inf(1)
+	for trial := 0; trial < 5; trial++ {
+		n := 0
+		start := time.Now()
+		for time.Since(start) < 20*time.Millisecond {
+			f()
+			n++
+		}
+		perBatch := float64(time.Since(start).Nanoseconds()) / float64(n)
+		if perBatch < best {
+			best = perBatch
+		}
+	}
+	return best / corpusSize
+}
+
+func main() {
+	var seed = flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	largest, ok := libm.LargestFormat()
+	if !ok {
+		fmt.Fprintln(os.Stderr, "no generated tables; run cmd/rlibm-gen -emit internal/libm first")
+		os.Exit(1)
+	}
+	formats := []struct {
+		name string
+		f    fp.Format
+	}{
+		{"bfloat16", fp.Bfloat16},
+		{"tensorfloat32", fp.TensorFloat32},
+		{"float" + fmt.Sprint(largest.Bits()), largest},
+	}
+	type series struct {
+		name    string
+		speedup map[string][]float64 // format name → per-function speedups
+	}
+	comparators := []string{"glibc-sub (a)", "intel-sub (b)", "crlibm-sub (c)", "RLibm-All (d)"}
+	kernelSeries := map[string][]float64{}
+	results := map[string]*series{}
+	for _, c := range comparators {
+		results[c] = &series{name: c, speedup: map[string][]float64{}}
+	}
+
+	fmt.Println("Figure 4: speedup of RLIBM-Prog progressive functions over each comparator")
+	fmt.Printf("%-7s %-14s %10s %10s | %10s %10s %10s %10s\n",
+		"f(x)", "format", "ours ns/op", "kernel ns", "glibc", "intel", "crlibm", "rlibm-all")
+	fmt.Println(strings.Repeat("-", 103))
+
+	for _, fn := range bigmath.AllFuncs {
+		prog, err := libm.Progressive(fn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v: %v\n", fn, err)
+			os.Exit(1)
+		}
+		base, err := libm.RLibmAll(fn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v: %v\n", fn, err)
+			os.Exit(1)
+		}
+		ml := baseline.MathLibm{Fn: fn}
+		ddl := baseline.DDLibm{Fn: fn}
+		crl := baseline.CRLibm{Fn: fn}
+		rng := rand.New(rand.NewSource(*seed ^ int64(fn)))
+		for _, fc := range formats {
+			xs := corpus(fn, fc.f, rng)
+			li, _ := prog.LevelFor(fc.f)
+			var sink uint64
+			var fsink float64
+			ours := timeIt(func() {
+				for _, x := range xs {
+					sink += evalBits(prog, x, li, fc.f)
+				}
+			})
+			// Kernel-only timing (no final rounding): isolates the
+			// progressive prefix-evaluation effect, which the shared
+			// software rounding step otherwise dilutes. The paper's
+			// hardware rounding makes its full-function numbers closer to
+			// this column.
+			kernel := timeIt(func() {
+				for _, x := range xs {
+					fsink += prog.EvalValue(x, li)
+				}
+			})
+			_ = fsink
+			tGlibc := timeIt(func() {
+				for _, x := range xs {
+					sink += fc.f.FromFloat64(ml.Value(x), fp.RoundNearestEven)
+				}
+			})
+			tIntel := timeIt(func() {
+				for _, x := range xs {
+					sink += fc.f.FromFloat64(ddl.Value(x), fp.RoundNearestEven)
+				}
+			})
+			tCr := timeIt(func() {
+				for _, x := range xs {
+					sink += fc.f.FromFloat64(crl.Value(x, fp.RoundNearestEven), fp.RoundNearestEven)
+				}
+			})
+			tAll := timeIt(func() {
+				for _, x := range xs {
+					sink += evalBits(base, x, 0, fc.f)
+				}
+			})
+			_ = sink
+			sp := func(t float64) float64 { return (t - ours) / ours * 100 }
+			fmt.Printf("%-7s %-14s %10.1f %10.1f | %9.0f%% %9.0f%% %9.0f%% %9.0f%%\n",
+				fn, fc.name, ours, kernel, sp(tGlibc), sp(tIntel), sp(tCr), sp(tAll))
+			kernelSeries[fc.name] = append(kernelSeries[fc.name], kernel)
+			results["glibc-sub (a)"].speedup[fc.name] = append(results["glibc-sub (a)"].speedup[fc.name], sp(tGlibc))
+			results["intel-sub (b)"].speedup[fc.name] = append(results["intel-sub (b)"].speedup[fc.name], sp(tIntel))
+			results["crlibm-sub (c)"].speedup[fc.name] = append(results["crlibm-sub (c)"].speedup[fc.name], sp(tCr))
+			results["RLibm-All (d)"].speedup[fc.name] = append(results["RLibm-All (d)"].speedup[fc.name], sp(tAll))
+		}
+	}
+
+	fmt.Println(strings.Repeat("-", 103))
+	fmt.Println("progressive kernel-only averages (ns/op):")
+	for _, fc := range formats {
+		fmt.Printf("  %-14s %6.1f\n", fc.name, mean(kernelSeries[fc.name]))
+	}
+	fmt.Println("averages (the paper's per-cluster 'avg.' bars):")
+	for _, c := range comparators {
+		fmt.Printf("  vs %-14s:", c)
+		for _, fc := range formats {
+			fmt.Printf("  %s %+.0f%%", fc.name, mean(results[c].speedup[fc.name]))
+		}
+		fmt.Println()
+	}
+}
+
+func evalBits(res *gen.Result, x float64, li int, out fp.Format) uint64 {
+	return res.Eval(x, li, out, fp.RoundNearestEven)
+}
+
+func mean(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}

@@ -1,0 +1,147 @@
+// Command rlibm-gen runs the RLIBM-Prog generation pipeline: it enumerates
+// every input of every representation level, builds the constraint system,
+// solves it with the Clarkson randomized LP algorithm, verifies the result
+// exhaustively (patching stragglers into the special-input tables), and
+// optionally emits the coefficient tables as Go source into internal/libm.
+//
+// With -baseline it instead generates the RLibm-All comparison library:
+// piecewise polynomials with large sub-domain counts, a single (largest)
+// level, no progressive term counts.
+//
+// Typical use:
+//
+//	rlibm-gen -emit internal/libm                 # all ten functions
+//	rlibm-gen -baseline -emit internal/libm      # RLibm-All baseline
+//	rlibm-gen -func log2 -bits 22 -v             # one function, smaller scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bigmath"
+	"repro/internal/fp"
+	"repro/internal/gen"
+	"repro/internal/oracle"
+	"repro/internal/verify"
+)
+
+// baselinePieces mirrors the RLibm-All sub-domain counts of Table 1,
+// scaled to the default 25-bit largest format (quartered relative to the
+// paper's 32-bit counts, minimum 4).
+func baselinePieces(fn bigmath.Func) int {
+	switch fn {
+	case bigmath.Ln:
+		return 256
+	case bigmath.Log2, bigmath.Log10, bigmath.Exp, bigmath.Exp2:
+		return 64
+	case bigmath.Exp10:
+		return 128
+	case bigmath.Sinh, bigmath.Cosh:
+		return 16
+	default: // sinpi, cospi
+		return 4
+	}
+}
+
+func main() {
+	var (
+		fnFlag   = flag.String("func", "all", "function to generate (all or one of ln,log2,log10,exp,exp2,exp10,sinh,cosh,sinpi,cospi)")
+		bits     = flag.Int("bits", gen.DefaultLargestBits, "width of the largest representation (paper: 32; see DESIGN.md)")
+		baseline = flag.Bool("baseline", false, "generate the RLibm-All piecewise baseline instead")
+		emitDir  = flag.String("emit", "", "directory to write generated Go table files into")
+		seed     = flag.Int64("seed", 1, "random seed")
+		verbose  = flag.Bool("v", false, "verbose progress")
+		noVerify = flag.Bool("skip-verify", false, "skip the exhaustive verification/repair pass")
+		progRO   = flag.Bool("progressive-ro", false, "generate lower levels against round-to-odd intervals (all-modes progressive guarantee; extension beyond the paper)")
+	)
+	flag.Parse()
+
+	var fns []bigmath.Func
+	if *fnFlag == "all" {
+		fns = bigmath.AllFuncs
+	} else {
+		for _, name := range strings.Split(*fnFlag, ",") {
+			fn, err := bigmath.ParseFunc(strings.TrimSpace(name))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fns = append(fns, fn)
+		}
+	}
+
+	logf := func(string, ...interface{}) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	failed := false
+
+	for _, fn := range fns {
+		opt := gen.Options{Seed: *seed, Logf: logf}
+		kind := "progressive"
+		if *baseline {
+			kind = "rlibm-all-baseline"
+			opt.Levels = []fp.Format{fp.MustFormat(*bits, 8)}
+			opt.ForcePieces = baselinePieces(fn)
+			opt.MaxTerms = 6
+		} else {
+			opt.Levels = gen.StandardLevels(*bits)
+			opt.ProgressiveRO = *progRO
+		}
+		orc := oracle.New(fn)
+		opt.Oracle = orc
+		res, err := gen.Generate(fn, opt)
+		if err != nil {
+			log.Printf("%v: %v", fn, err)
+			failed = true
+			continue
+		}
+		patched := 0
+		if !*noVerify {
+			patched, err = verify.Repair(res, orc)
+			if err != nil {
+				log.Printf("%v: verification failed: %v", fn, err)
+				failed = true
+				continue
+			}
+		}
+		st := res.Stats
+		fmt.Printf("%-6s %-20s pieces=%v degree=%v terms=%v specials=%v(+%d repaired) mem=%dB raw=%d rows=%d iters=%d lucky=%d exact=%d dur=%v\n",
+			fn, kind, res.NumPieces(), res.MaxDegree(len(res.Levels)-1),
+			termsMatrix(res), res.NumSpecials(), patched, res.CoefficientBytes(),
+			st.RawConstraints, st.MergedRows, st.Iters, st.Lucky, st.ExactSolves,
+			st.Duration.Round(1e6))
+
+		if *emitDir != "" {
+			name := fmt.Sprintf("zz_generated_%s.go", fn)
+			registerFn := "register"
+			if *baseline {
+				name = fmt.Sprintf("zz_baseline_%s.go", fn)
+				registerFn = "registerBaseline"
+			}
+			src := gen.EmitGo(res, "libm", registerFn)
+			if err := os.WriteFile(filepath.Join(*emitDir, name), []byte(src), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	exitIf(failed)
+}
+
+func exitIf(failed bool) {
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func termsMatrix(res *gen.Result) [][]int {
+	out := make([][]int, len(res.Levels))
+	for li := range res.Levels {
+		out[li] = res.TermsAt(li)
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+// Command rlibm-table2 regenerates Table 2 of the paper: for each of the
+// ten functions and each library — RLIBM-Prog, the glibc substitute, the
+// Intel substitute, the CR-LIBM substitute, and the RLibm-All baseline — it
+// reports whether the library produces correctly rounded results for
+// (1) bfloat16 and tensorfloat32 with rn, (2) the largest ("float") format
+// with rn, and (3) the largest format under all standard rounding modes.
+//
+// bfloat16 and tensorfloat32 are always checked exhaustively; the largest
+// format is sampled by default (-exhaustive enumerates all of it, which
+// takes minutes per function on one core).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/bigmath"
+	"repro/internal/fp"
+	"repro/internal/libm"
+	"repro/internal/oracle"
+	"repro/internal/verify"
+)
+
+type column struct {
+	name string
+	impl func(fn bigmath.Func) verify.Impl
+	// modes the library supports for the all-rm column.
+	allModes []fp.Mode
+}
+
+type crAdapter struct{ lib baseline.CRLibm }
+
+func (c crAdapter) Bits(x float64, out fp.Format, mode fp.Mode) uint64 {
+	return c.lib.Bits(x, out, mode)
+}
+
+func main() {
+	var (
+		exhaustive = flag.Bool("exhaustive", false, "enumerate the largest format exhaustively (slow)")
+		samples    = flag.Int("samples", 400000, "sample count per mode for the largest format")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	largest, ok := libm.LargestFormat()
+	if !ok {
+		fmt.Fprintln(os.Stderr, "no generated tables; run cmd/rlibm-gen -emit internal/libm first")
+		os.Exit(1)
+	}
+	fourModes := []fp.Mode{fp.RoundNearestEven, fp.RoundTowardZero, fp.RoundTowardPositive, fp.RoundTowardNegative}
+	columns := []column{
+		{"RLIBM-Prog", func(fn bigmath.Func) verify.Impl {
+			res, err := libm.Progressive(fn)
+			if err != nil {
+				return nil
+			}
+			return verify.NewGenImpl(res)
+		}, fp.StandardModes},
+		{"glibc-sub", func(fn bigmath.Func) verify.Impl { return baseline.MathLibm{Fn: fn} }, fp.StandardModes},
+		{"intel-sub", func(fn bigmath.Func) verify.Impl { return baseline.DDLibm{Fn: fn} }, fp.StandardModes},
+		{"crlibm-sub", func(fn bigmath.Func) verify.Impl { return crAdapter{baseline.CRLibm{Fn: fn}} }, fourModes},
+		{"RLibm-All", func(fn bigmath.Func) verify.Impl {
+			res, err := libm.RLibmAll(fn)
+			if err != nil {
+				return nil
+			}
+			return verify.NewGenImpl(res)
+		}, fp.StandardModes},
+	}
+
+	fmt.Printf("Table 2: correctly rounded results for all inputs (largest format %v", largest)
+	if *exhaustive {
+		fmt.Println(", exhaustive)")
+	} else {
+		fmt.Printf(", sampled %d/mode)\n", *samples)
+	}
+	fmt.Println("columns per library: BF16&TF32 rn | largest rn | largest all-rm (crlibm-sub: 4 modes, no ra)")
+	fmt.Println(strings.Repeat("=", 20+22*len(columns)))
+	fmt.Printf("%-7s", "f(x)")
+	for _, c := range columns {
+		fmt.Printf(" | %-18s", c.name)
+	}
+	fmt.Println()
+	fmt.Println(strings.Repeat("-", 20+22*len(columns)))
+
+	mark := func(correct, supported bool) string {
+		if !supported {
+			return "N/A"
+		}
+		if correct {
+			return "Y"
+		}
+		return "X"
+	}
+	for _, fn := range bigmath.AllFuncs {
+		orc := oracle.New(fn)
+		fmt.Printf("%-7s", fn)
+		for _, col := range columns {
+			impl := col.impl(fn)
+			if impl == nil {
+				fmt.Printf(" | %-18s", "missing")
+				continue
+			}
+			smallOK := allCorrect(verify.Exhaustive(impl, orc, fp.Bfloat16, []fp.Mode{fp.RoundNearestEven})) &&
+				allCorrect(verify.Exhaustive(impl, orc, fp.TensorFloat32, []fp.Mode{fp.RoundNearestEven}))
+			var rnReports, allReports []verify.Report
+			if *exhaustive {
+				rnReports = verify.Exhaustive(impl, orc, largest, []fp.Mode{fp.RoundNearestEven})
+				allReports = verify.Exhaustive(impl, orc, largest, col.allModes)
+			} else {
+				rnReports = verify.Sampled(impl, orc, largest, []fp.Mode{fp.RoundNearestEven}, *samples, *seed)
+				allReports = verify.Sampled(impl, orc, largest, col.allModes, *samples, *seed+1)
+			}
+			fmt.Printf(" | %-4s %-4s %-8s", mark(smallOK, true),
+				mark(allCorrect(rnReports), true), mark(allCorrect(allReports), true))
+		}
+		fmt.Println()
+	}
+	fmt.Println(strings.Repeat("-", 20+22*len(columns)))
+	fmt.Println("Y = correctly rounded for all checked inputs, X = wrong results found.")
+	fmt.Println("Comparator substitutes compute in the scaled-double working format F49,10 (see DESIGN.md).")
+}
+
+func allCorrect(reports []verify.Report) bool {
+	for _, r := range reports {
+		if !r.Correct() {
+			return false
+		}
+	}
+	return true
+}

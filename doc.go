@@ -1,0 +1,7 @@
+// Package repro is a Go reproduction of "Progressive Polynomial
+// Approximations for Fast Correctly Rounded Math Libraries" (PLDI 2022):
+// the RLIBM-Prog progressive polynomial generator, the generated correctly
+// rounded math library, the RLibm-All baseline and the double-precision
+// comparator substitutes, together with the harnesses regenerating every
+// table and figure of the paper's evaluation. See README.md and DESIGN.md.
+package repro

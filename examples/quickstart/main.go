@@ -1,0 +1,70 @@
+// Quickstart: evaluate correctly rounded elementary functions from the
+// generated RLIBM-Prog library across formats and rounding modes, and show
+// the progressive-evaluation property (lower-precision formats use only a
+// prefix of the same polynomial).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bigmath"
+	"repro/internal/fp"
+	"repro/internal/libm"
+)
+
+func main() {
+	if !libm.Have(bigmath.Log2) {
+		log.Fatal("generated tables missing; run: go run ./cmd/rlibm-gen -emit internal/libm")
+	}
+
+	// A correctly rounded log2 in bfloat16: one API call.
+	xb := fp.Bfloat16.FromFloat64(10, fp.RoundNearestEven)
+	rb, err := libm.Bfloat16(bigmath.Log2, uint16(xb))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bfloat16 log2(10)  = %v (bits %#04x)\n", fp.Bfloat16.Decode(uint64(rb)), rb)
+
+	// The same function, same polynomial, in tensorfloat32 — more terms of
+	// the progressive polynomial are evaluated, the coefficients are shared.
+	xt := fp.TensorFloat32.FromFloat64(10, fp.RoundNearestEven)
+	rt, err := libm.TensorFloat32(bigmath.Log2, uint32(xt))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tf32     log2(10)  = %v (bits %#05x)\n", fp.TensorFloat32.Decode(uint64(rt)), rt)
+
+	// The largest generated format supports all five IEEE rounding modes.
+	largest, _ := libm.LargestFormat()
+	fmt.Printf("\nexp(1.5) in %v under every rounding mode:\n", largest)
+	x := largest.FromFloat64(1.5, fp.RoundNearestEven)
+	for _, mode := range fp.StandardModes {
+		bits, err := libm.Largest(bigmath.Exp, x, mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %v: %.10f (bits %#x)\n", mode, largest.Decode(bits), bits)
+	}
+
+	// Every function of the paper is available.
+	fmt.Println("\nall ten functions at x = 0.7188 (bfloat16, rn):")
+	xb = fp.Bfloat16.FromFloat64(0.7188, fp.RoundNearestEven)
+	for _, fn := range bigmath.AllFuncs {
+		r, err := libm.Bfloat16(fn, uint16(xb))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-6s(%v) = %v\n", fn, fp.Bfloat16.Decode(xb), fp.Bfloat16.Decode(uint64(r)))
+	}
+
+	// Inspect the progressive structure.
+	res, _ := libm.Progressive(bigmath.Exp)
+	fmt.Println("\nprogressive structure of exp:")
+	for li, lvl := range res.Levels {
+		fmt.Printf("  level %v: evaluates %v terms (degree %v)\n",
+			lvl, res.TermsAt(li), res.MaxDegree(li))
+	}
+	fmt.Printf("  coefficient storage: %d bytes, special inputs per level: %v\n",
+		res.CoefficientBytes(), res.NumSpecials())
+}

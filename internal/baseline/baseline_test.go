@@ -1,0 +1,145 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bigmath"
+	"repro/internal/fp"
+)
+
+func randomInput(fn bigmath.Func, rng *rand.Rand) float64 {
+	switch fn {
+	case bigmath.Ln, bigmath.Log2, bigmath.Log10:
+		return math.Ldexp(rng.Float64()+0.5, rng.Intn(200)-100)
+	case bigmath.Exp, bigmath.Exp2, bigmath.Exp10, bigmath.Sinh, bigmath.Cosh:
+		return (rng.Float64()*2 - 1) * 60
+	default:
+		return (rng.Float64()*2 - 1) * 200
+	}
+}
+
+// CRLibm must be correctly rounded in its working format for all four
+// supported modes; validated against the oracle via the round-to-odd
+// derivation.
+func TestCRLibmCorrectlyRoundedInWorking(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	w := ScaledDouble
+	ext := w.Extend(2)
+	modes := []fp.Mode{fp.RoundNearestEven, fp.RoundTowardZero, fp.RoundTowardPositive, fp.RoundTowardNegative}
+	for _, fn := range bigmath.AllFuncs {
+		lib := CRLibm{Fn: fn}
+		if lib.SupportsMode(fp.RoundNearestAway) {
+			t.Errorf("%v: must not support ties-to-away (CR-LIBM doesn't)", fn)
+		}
+		for i := 0; i < 40; i++ {
+			x := randomInput(fn, rng)
+			roVal := ext.Decode(bigmath.CorrectlyRounded(fn, x, ext, fp.RoundToOdd))
+			for _, m := range modes {
+				want := w.FromFloat64(roVal, m)
+				got := w.FromFloat64(lib.Value(x, m), m)
+				if got != want {
+					t.Errorf("%v(%g) %v: got %#x want %#x", fn, x, m, got, want)
+				}
+			}
+		}
+	}
+}
+
+// DDLibm is essentially correctly rounded at rn in its working format;
+// MathLibm (truncating) is not — that contrast is the Table 2 story.
+func TestAccuracyContrast(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	w := ScaledDouble
+	ext := w.Extend(2)
+	ddWrong, mathWrong, n := 0, 0, 0
+	for _, fn := range bigmath.AllFuncs {
+		ddl := DDLibm{Fn: fn}
+		ml := MathLibm{Fn: fn}
+		for i := 0; i < 30; i++ {
+			x := randomInput(fn, rng)
+			roVal := ext.Decode(bigmath.CorrectlyRounded(fn, x, ext, fp.RoundToOdd))
+			want := w.FromFloat64(roVal, fp.RoundNearestEven)
+			if w.FromFloat64(ddl.Value(x), fp.RoundNearestEven) != want {
+				ddWrong++
+			}
+			if w.FromFloat64(ml.Value(x), fp.RoundNearestEven) != want {
+				mathWrong++
+			}
+			n++
+		}
+	}
+	if ddWrong > n/50 {
+		t.Errorf("DDLibm wrong on %d/%d working-format results", ddWrong, n)
+	}
+	if mathWrong < n/10 {
+		t.Errorf("MathLibm suspiciously accurate: %d/%d wrong (it must model a non-correctly-rounded library)", mathWrong, n)
+	}
+}
+
+// All three libraries agree with the oracle on small formats, where their
+// working precision dwarfs the targets.
+func TestAllCorrectAtBfloat16(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	out := fp.Bfloat16
+	for _, fn := range bigmath.AllFuncs {
+		ml := MathLibm{Fn: fn}
+		ddl := DDLibm{Fn: fn}
+		crl := CRLibm{Fn: fn}
+		for i := 0; i < 150; i++ {
+			b := uint64(rng.Int63()) & (out.NumValues() - 1)
+			x := out.Decode(b)
+			if math.IsNaN(x) {
+				continue
+			}
+			if _, exact := bigmath.ExactValue(fn, x); exact && (fn == bigmath.SinPi || fn == bigmath.CosPi) {
+				continue // zero-sign conventions differ in the math package
+			}
+			want := bigmath.CorrectlyRounded(fn, x, out, fp.RoundNearestEven)
+			if got := ml.Bits(x, out, fp.RoundNearestEven); got != want {
+				t.Errorf("math %v(%g): %#x want %#x", fn, x, got, want)
+			}
+			if got := ddl.Bits(x, out, fp.RoundNearestEven); got != want {
+				t.Errorf("dd %v(%g): %#x want %#x", fn, x, got, want)
+			}
+			if got := crl.Bits(x, out, fp.RoundNearestEven); got != want {
+				t.Errorf("cr %v(%g): %#x want %#x", fn, x, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkComparators(b *testing.B) {
+	rng := rand.New(rand.NewSource(83))
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = rng.Float64()*20 + 0.5
+	}
+	for _, fn := range []bigmath.Func{bigmath.Exp, bigmath.Ln} {
+		b.Run("math-"+fn.String(), func(b *testing.B) {
+			lib := MathLibm{Fn: fn}
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += lib.Value(xs[i&1023])
+			}
+			_ = sink
+		})
+		b.Run("dd-"+fn.String(), func(b *testing.B) {
+			lib := DDLibm{Fn: fn}
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += lib.Value(xs[i&1023])
+			}
+			_ = sink
+		})
+		b.Run("cr-"+fn.String(), func(b *testing.B) {
+			lib := CRLibm{Fn: fn}
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += lib.Value(xs[i&1023], fp.RoundNearestEven)
+			}
+			_ = sink
+		})
+	}
+}

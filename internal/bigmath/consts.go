@@ -1,0 +1,144 @@
+// Package bigmath implements the ten elementary functions of the paper on
+// math/big.Float at arbitrary precision. It plays the role MPFR plays in
+// RLIBM-Prog: a slow, correct oracle used offline to compute correctly
+// rounded results, with Ziv-style precision escalation and explicit
+// detection of the (number-theoretically characterized) inputs whose results
+// are exactly representable.
+package bigmath
+
+import (
+	"math/big"
+	"sync"
+)
+
+// constCache memoizes a precision-indexed constant. Values are computed at
+// the requested working precision and never mutated after insertion.
+type constCache struct {
+	mu      sync.Mutex
+	byPrec  map[uint]*big.Float
+	compute func(prec uint) *big.Float
+}
+
+func (c *constCache) at(prec uint) *big.Float {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.byPrec == nil {
+		c.byPrec = make(map[uint]*big.Float)
+	}
+	if v, ok := c.byPrec[prec]; ok {
+		return v
+	}
+	v := c.compute(prec)
+	c.byPrec[prec] = v
+	return v
+}
+
+var (
+	ln2Cache    = &constCache{compute: computeLn2}
+	ln10Cache   = &constCache{compute: computeLn10}
+	piCache     = &constCache{compute: computePi}
+	sqrt2Cache  = &constCache{compute: computeSqrt2}
+	log102Cache = &constCache{compute: computeLog10Of2}
+)
+
+// Ln2 returns ln(2) computed at the given precision (plus guard bits
+// internally); callers must not mutate the result.
+func Ln2(prec uint) *big.Float { return ln2Cache.at(prec) }
+
+// Ln10 returns ln(10) at the given precision; callers must not mutate it.
+func Ln10(prec uint) *big.Float { return ln10Cache.at(prec) }
+
+// Pi returns π at the given precision; callers must not mutate it.
+func Pi(prec uint) *big.Float { return piCache.at(prec) }
+
+// Sqrt2Over2 returns √2/2 at the given precision; callers must not mutate it.
+func Sqrt2Over2(prec uint) *big.Float { return sqrt2Cache.at(prec) }
+
+// Log10Of2 returns log10(2) = ln2/ln10 at the given precision; callers must
+// not mutate it.
+func Log10Of2(prec uint) *big.Float { return log102Cache.at(prec) }
+
+func computeLog10Of2(prec uint) *big.Float {
+	w := prec + 32
+	v := new(big.Float).SetPrec(w).Quo(Ln2(w), Ln10(w))
+	return v.SetPrec(prec)
+}
+
+// atanhRecip returns atanh(1/q) = Σ_{k≥0} (1/q)^(2k+1)/(2k+1) for integer
+// q ≥ 2, computed at working precision w.
+func atanhRecip(q int64, w uint) *big.Float {
+	t := new(big.Float).SetPrec(w).Quo(one(w), big.NewFloat(float64(q)).SetPrec(w))
+	t2 := new(big.Float).SetPrec(w).Mul(t, t)
+	sum := new(big.Float).SetPrec(w).Set(t)
+	term := new(big.Float).SetPrec(w).Set(t)
+	tmp := new(big.Float).SetPrec(w)
+	for k := int64(1); ; k++ {
+		term.Mul(term, t2)
+		tmp.Quo(term, big.NewFloat(float64(2*k+1)).SetPrec(w))
+		if tmp.MantExp(nil)-sum.MantExp(nil) < -int(w)-4 {
+			break
+		}
+		sum.Add(sum, tmp)
+	}
+	return sum
+}
+
+// atanRecip returns atan(1/q) = Σ_{k≥0} (-1)^k (1/q)^(2k+1)/(2k+1).
+func atanRecip(q int64, w uint) *big.Float {
+	t := new(big.Float).SetPrec(w).Quo(one(w), big.NewFloat(float64(q)).SetPrec(w))
+	t2 := new(big.Float).SetPrec(w).Mul(t, t)
+	sum := new(big.Float).SetPrec(w).Set(t)
+	term := new(big.Float).SetPrec(w).Set(t)
+	tmp := new(big.Float).SetPrec(w)
+	for k := int64(1); ; k++ {
+		term.Mul(term, t2)
+		term.Neg(term)
+		tmp.Quo(term, big.NewFloat(float64(2*k+1)).SetPrec(w))
+		if tmp.MantExp(nil)-sum.MantExp(nil) < -int(w)-4 {
+			break
+		}
+		sum.Add(sum, tmp)
+	}
+	return sum
+}
+
+func computeLn2(prec uint) *big.Float {
+	w := prec + 32
+	// ln 2 = 2 atanh(1/3).
+	v := atanhRecip(3, w)
+	v.Add(v, v)
+	return v.SetPrec(prec)
+}
+
+func computeLn10(prec uint) *big.Float {
+	w := prec + 32
+	// ln 10 = 3 ln 2 + ln(5/4), and ln(5/4) = 2 atanh(1/9).
+	v := atanhRecip(9, w)
+	v.Add(v, v)
+	three := new(big.Float).SetPrec(w).SetInt64(3)
+	v.Add(v, three.Mul(three, Ln2(w)))
+	return v.SetPrec(prec)
+}
+
+func computePi(prec uint) *big.Float {
+	w := prec + 32
+	// Machin: π = 16 atan(1/5) - 4 atan(1/239).
+	a := atanRecip(5, w)
+	sixteen := new(big.Float).SetPrec(w).SetInt64(16)
+	a.Mul(a, sixteen)
+	b := atanRecip(239, w)
+	four := new(big.Float).SetPrec(w).SetInt64(4)
+	b.Mul(b, four)
+	a.Sub(a, b)
+	return a.SetPrec(prec)
+}
+
+func computeSqrt2(prec uint) *big.Float {
+	w := prec + 32
+	v := new(big.Float).SetPrec(w).SetInt64(2)
+	v.Sqrt(v)
+	v.Quo(v, new(big.Float).SetPrec(w).SetInt64(2))
+	return v.SetPrec(prec)
+}
+
+func one(w uint) *big.Float { return new(big.Float).SetPrec(w).SetInt64(1) }

@@ -1,0 +1,141 @@
+package bigmath
+
+import "math/big"
+
+// The series kernels below all follow the same contract: inputs are
+// big.Floats at working precision w, outputs are freshly allocated
+// big.Floats at precision w, and the combination of truncation error and
+// rounding error is far below 2^-(w-24) relative — each kernel performs
+// only a few hundred rounded operations and truncates its series when the
+// next term falls 2^(w+8) below the running sum.
+
+// expSeries returns e^r for |r| ≤ 0.75 by scaling r down 2^scaleBits times,
+// summing the Taylor series, and squaring back up.
+func expSeries(r *big.Float, w uint) *big.Float {
+	const scaleBits = 6
+	rs := new(big.Float).SetPrec(w).Set(r)
+	if rs.Sign() != 0 {
+		rs.SetMantExp(rs, -scaleBits) // exact /2^6
+	}
+	sum := one(w)
+	term := one(w)
+	tmp := new(big.Float).SetPrec(w)
+	for n := int64(1); ; n++ {
+		term.Mul(term, rs)
+		term.Quo(term, tmp.SetInt64(n))
+		sum.Add(sum, term)
+		if term.Sign() == 0 || term.MantExp(nil)-sum.MantExp(nil) < -int(w)-8 {
+			break
+		}
+	}
+	for i := 0; i < scaleBits; i++ {
+		sum.Mul(sum, sum)
+	}
+	return sum
+}
+
+// expBig returns e^x for a finite big.Float x with |x| ≤ 2^20, using the
+// reduction x = k·ln2 + r, |r| ≤ ln2/2, then e^x = 2^k · e^r.
+func expBig(x *big.Float, w uint) *big.Float {
+	xf, _ := x.Float64()
+	ln2 := Ln2(w + 32)
+	ln2f, _ := ln2.Float64()
+	k := int(roundToInt(xf / ln2f))
+	r := new(big.Float).SetPrec(w + 32).SetInt64(int64(k))
+	r.Mul(r, ln2)
+	r.Sub(new(big.Float).SetPrec(w+32).Set(x), r)
+	e := expSeries(r, w+32)
+	if e.Sign() != 0 {
+		e.SetMantExp(e, k)
+	}
+	return new(big.Float).SetPrec(w).Set(e)
+}
+
+func roundToInt(x float64) float64 {
+	if x >= 0 {
+		return float64(int64(x + 0.5))
+	}
+	return -float64(int64(-x + 0.5))
+}
+
+// logBig returns ln(x) for a finite positive big.Float x, via
+// x = m·2^e with m ∈ [√2/2·…, ~1.41), ln x = 2 atanh((m-1)/(m+1)) + e ln 2.
+func logBig(x *big.Float, w uint) *big.Float {
+	ww := w + 32
+	m := new(big.Float).SetPrec(ww)
+	e := x.MantExp(m) // x = m·2^e, m ∈ [0.5, 1)
+	// Recenter m into [~0.707, ~1.414) so |t| ≤ 0.1716.
+	if m.Cmp(Sqrt2Over2(ww)) < 0 {
+		m.SetMantExp(m, 1)
+		e--
+	}
+	num := new(big.Float).SetPrec(ww).Sub(m, one(ww))
+	den := new(big.Float).SetPrec(ww).Add(m, one(ww))
+	t := num.Quo(num, den)
+	t2 := new(big.Float).SetPrec(ww).Mul(t, t)
+	sum := new(big.Float).SetPrec(ww).Set(t)
+	term := new(big.Float).SetPrec(ww).Set(t)
+	tmp := new(big.Float).SetPrec(ww)
+	for k := int64(1); ; k++ {
+		term.Mul(term, t2)
+		tmp.Quo(term, new(big.Float).SetPrec(ww).SetInt64(2*k+1))
+		sum.Add(sum, tmp)
+		if tmp.Sign() == 0 || tmp.MantExp(nil)-sum.MantExp(nil) < -int(ww)-8 {
+			break
+		}
+	}
+	sum.Add(sum, sum) // 2·atanh(t)
+	if e != 0 {
+		el := new(big.Float).SetPrec(ww).SetInt64(int64(e))
+		sum.Add(sum, el.Mul(el, Ln2(ww)))
+	}
+	return new(big.Float).SetPrec(w).Set(sum)
+}
+
+// sinCosSeries returns (sin θ, cos θ) for |θ| ≤ 0.8 by direct Taylor
+// summation.
+func sinCosSeries(theta *big.Float, w uint) (sin, cos *big.Float) {
+	t2 := new(big.Float).SetPrec(w).Mul(theta, theta)
+	t2.Neg(t2)
+	// sin = Σ (-1)^k θ^(2k+1)/(2k+1)!, cos = Σ (-1)^k θ^(2k)/(2k)!.
+	sin = new(big.Float).SetPrec(w).Set(theta)
+	term := new(big.Float).SetPrec(w).Set(theta)
+	tmp := new(big.Float).SetPrec(w)
+	for k := int64(1); ; k++ {
+		term.Mul(term, t2)
+		term.Quo(term, tmp.SetInt64(2*k*(2*k+1)))
+		sin.Add(sin, term)
+		if term.Sign() == 0 || term.MantExp(nil)-sin.MantExp(nil) < -int(w)-8 {
+			break
+		}
+	}
+	cos = one(w)
+	term = one(w)
+	for k := int64(1); ; k++ {
+		term.Mul(term, t2)
+		term.Quo(term, tmp.SetInt64(2*k*(2*k-1)))
+		cos.Add(cos, term)
+		if term.Sign() == 0 || term.MantExp(nil)-cos.MantExp(nil) < -int(w)-8 {
+			break
+		}
+	}
+	return sin, cos
+}
+
+// sinhSeries returns sinh(x) for |x| ≤ 1 by direct Taylor summation
+// (used where the exp-based formula would cancel catastrophically).
+func sinhSeries(x *big.Float, w uint) *big.Float {
+	x2 := new(big.Float).SetPrec(w).Mul(x, x)
+	sum := new(big.Float).SetPrec(w).Set(x)
+	term := new(big.Float).SetPrec(w).Set(x)
+	tmp := new(big.Float).SetPrec(w)
+	for k := int64(1); ; k++ {
+		term.Mul(term, x2)
+		term.Quo(term, tmp.SetInt64(2*k*(2*k+1)))
+		sum.Add(sum, term)
+		if term.Sign() == 0 || term.MantExp(nil)-sum.MantExp(nil) < -int(w)-8 {
+			break
+		}
+	}
+	return sum
+}

@@ -1,0 +1,165 @@
+package clarkson
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/poly"
+)
+
+// synthSystem builds a feasible constraint system shaped like the real
+// workload: intervals of width ~2^-wbits around a ground-truth polynomial
+// evaluated over reduced inputs in [0, xmax), with a share of progressive
+// rows that constrain only the first fewer terms (against the truncated
+// truth, with wider intervals).
+func synthSystem(rng *rand.Rand, k, n int, xmax float64, wbits int) ([]Row, []float64) {
+	truth := make([]float64, k)
+	truth[0] = 1
+	for j := 1; j < k; j++ {
+		truth[j] = rng.NormFloat64()
+	}
+	rows := make([]Row, 0, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * xmax
+		terms := k
+		wb := wbits
+		if i%4 == 0 && k > 2 {
+			terms = k - 1 + rng.Intn(2) // some lower-precision rows
+			wb = wbits - 6              // with wider intervals
+		}
+		v := poly.HornerTerms(truth, terms, x)
+		w := math.Ldexp(1+rng.Float64(), -wb)
+		rows = append(rows, Row{X: x, Lo: v - w, Hi: v + w, Terms: terms})
+	}
+	return rows, truth
+}
+
+func TestSolveFeasibleSystem(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	rows, _ := synthSystem(rng, 4, 50000, 1.0/64, 24)
+	res := Solve(rows, Config{TotalTerms: 4, XScale: 1.0 / 64, Rng: rng})
+	if !res.Found {
+		t.Fatalf("no solution found: %+v", res)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("found with %d violations", len(res.Violations))
+	}
+	for i, r := range rows {
+		v := poly.HornerTerms(res.Coeffs, r.Terms, r.X)
+		if v < r.Lo || v > r.Hi {
+			t.Fatalf("row %d violated after acceptance", i)
+		}
+	}
+	t.Logf("iters=%d lucky=%d exact=%d", res.Iters, res.Lucky, res.ExactSolves)
+}
+
+func TestSolveEmptySystem(t *testing.T) {
+	res := Solve(nil, Config{TotalTerms: 3})
+	if !res.Found || len(res.Coeffs) != 3 {
+		t.Fatalf("empty system: %+v", res)
+	}
+}
+
+// A few poisoned (unsatisfiable) rows must surface as accepted violations
+// when AcceptViolations admits them.
+func TestAcceptViolations(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	rows, truth := synthSystem(rng, 3, 20000, 1.0/64, 22)
+	// Poison two rows: tiny intervals far from the truth curve.
+	for _, i := range []int{137, 9999} {
+		v := poly.Horner(truth, rows[i].X) + 1
+		rows[i].Lo, rows[i].Hi = v, v+1e-9
+	}
+	res := Solve(rows, Config{TotalTerms: 3, XScale: 1.0 / 64, AcceptViolations: 2, MaxIters: 400, Rng: rng})
+	if !res.Found {
+		t.Fatalf("not found: %+v", res)
+	}
+	if len(res.Violations) == 0 || len(res.Violations) > 2 {
+		t.Fatalf("violations: %v", res.Violations)
+	}
+	seen := map[int]bool{}
+	for _, i := range res.Violations {
+		seen[i] = true
+	}
+	if !seen[137] && !seen[9999] {
+		t.Errorf("violations %v don't include the poisoned rows", res.Violations)
+	}
+}
+
+// Without AcceptViolations an infeasible system must exhaust MaxIters.
+func TestInfeasibleGivesUp(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	rows, truth := synthSystem(rng, 3, 5000, 1.0/64, 22)
+	v := poly.Horner(truth, rows[42].X) + 1
+	rows[42].Lo, rows[42].Hi = v, v+1e-12
+	res := Solve(rows, Config{TotalTerms: 3, XScale: 1.0 / 64, MaxIters: 30, Rng: rng})
+	if res.Found {
+		t.Fatalf("found a solution to an infeasible system")
+	}
+	if res.Iters > 30 {
+		t.Errorf("iters = %d, want ≤ 30", res.Iters)
+	}
+	if res.Iters < 30 && !res.Infeasible {
+		t.Errorf("early exit without an infeasibility certificate")
+	}
+	if res.BestViolations < 1 || res.BestViolations > 5000 {
+		t.Errorf("best violations = %d", res.BestViolations)
+	}
+}
+
+// §3.4: expected 6k·log n iterations on full-rank systems. Check that the
+// solver stays within a small multiple across seeds.
+func TestIterationBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical bound check")
+	}
+	k, n := 4, 30000
+	bound := 6 * k * int(math.Log(float64(n))+1) // 6k·ln n
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(60 + seed))
+		rows, _ := synthSystem(rng, k, n, 1.0/64, 26)
+		res := Solve(rows, Config{TotalTerms: k, XScale: 1.0 / 64, Rng: rng})
+		if !res.Found {
+			t.Fatalf("seed %d: not found", seed)
+		}
+		if res.Iters > bound {
+			t.Errorf("seed %d: %d iterations exceeds 6k·ln n = %d", seed, res.Iters, bound)
+		}
+	}
+}
+
+// The XScale normalization must leave results semantically unchanged for
+// well-conditioned systems.
+func TestXScaleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	rows, _ := synthSystem(rng, 3, 10000, 1.0/64, 20)
+	for _, scale := range []float64{1, 1.0 / 64} {
+		rng2 := rand.New(rand.NewSource(54))
+		res := Solve(rows, Config{TotalTerms: 3, XScale: scale, Rng: rng2})
+		if !res.Found {
+			t.Errorf("scale %v: not found", scale)
+		}
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on TotalTerms=0")
+		}
+	}()
+	Solve(nil, Config{})
+}
+
+func BenchmarkSolve50k(b *testing.B) {
+	rng := rand.New(rand.NewSource(55))
+	rows, _ := synthSystem(rng, 5, 50000, 1.0/64, 26)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Solve(rows, Config{TotalTerms: 5, XScale: 1.0 / 64, Rng: rand.New(rand.NewSource(int64(i)))})
+		if !res.Found {
+			b.Fatal("not found")
+		}
+	}
+}

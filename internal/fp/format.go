@@ -1,0 +1,270 @@
+// Package fp implements parameterized IEEE-754-style binary floating-point
+// formats F(n,|E|) — n total bits, |E| exponent bits — together with correct
+// rounding from exact values (float64 or big.Float) into any such format
+// under the five IEEE rounding modes and the non-standard round-to-odd mode
+// used by the RLibm-All/RLIBM-Prog construction.
+//
+// Every format supported here (10 ≤ n ≤ 34, |E| ≤ 10) embeds exactly into
+// float64: each representable value of the format is a representable
+// float64. Decoded values are therefore carried around as float64 without
+// loss, and production code paths (range reduction, polynomial evaluation,
+// output compensation) run in float64 exactly as in the paper.
+package fp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format describes a binary floating-point representation with a sign bit,
+// ExpBits exponent bits and Bits-1-ExpBits explicit mantissa bits, following
+// the IEEE-754 layout (subnormals, signed zero, infinities, NaN).
+type Format struct {
+	bits    int // total bits including sign
+	expBits int // exponent field width
+}
+
+// Common formats used throughout the paper.
+var (
+	// Bfloat16 is the 16-bit brain float format F(16,8).
+	Bfloat16 = MustFormat(16, 8)
+	// TensorFloat32 is NVIDIA's 19-bit format F(19,8).
+	TensorFloat32 = MustFormat(19, 8)
+	// Float32 is the IEEE single-precision format F(32,8).
+	Float32 = MustFormat(32, 8)
+	// Float16 is the IEEE half-precision format F(16,5).
+	Float16 = MustFormat(16, 5)
+)
+
+// NewFormat returns the format with the given total bit width and exponent
+// field width. It reports an error when the combination cannot be handled:
+// the format must have at least one mantissa bit, at least two exponent
+// bits, and must embed into float64 (so the offline tooling can carry exact
+// values in doubles).
+func NewFormat(bits, expBits int) (Format, error) {
+	mant := bits - 1 - expBits
+	switch {
+	case bits < 4 || bits > 60:
+		return Format{}, fmt.Errorf("fp: total width %d out of range [4,60]", bits)
+	case expBits < 2 || expBits > 10:
+		return Format{}, fmt.Errorf("fp: exponent width %d out of range [2,10]", expBits)
+	case mant < 1:
+		return Format{}, fmt.Errorf("fp: no mantissa bits in F(%d,%d)", bits, expBits)
+	case mant > 51:
+		// float64 has 52 explicit mantissa bits; we additionally need one
+		// spare bit so round-to-odd targets (n+2 bits) stay exact.
+		return Format{}, fmt.Errorf("fp: mantissa width %d exceeds float64 capacity", mant)
+	}
+	return Format{bits: bits, expBits: expBits}, nil
+}
+
+// MustFormat is like NewFormat but panics on invalid parameters. Intended
+// for package-level format constants.
+func MustFormat(bits, expBits int) Format {
+	f, err := NewFormat(bits, expBits)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// ParseFormat parses a format written as "F19,8" or "19,8".
+func ParseFormat(s string) (Format, error) {
+	var bits, exp int
+	if _, err := fmt.Sscanf(s, "F%d,%d", &bits, &exp); err != nil {
+		if _, err2 := fmt.Sscanf(s, "%d,%d", &bits, &exp); err2 != nil {
+			return Format{}, fmt.Errorf("fp: cannot parse format %q", s)
+		}
+	}
+	return NewFormat(bits, exp)
+}
+
+// Bits returns the total width of the format, including the sign bit.
+func (f Format) Bits() int { return f.bits }
+
+// ExpBits returns the width of the exponent field.
+func (f Format) ExpBits() int { return f.expBits }
+
+// MantBits returns the number of explicit mantissa (fraction) bits.
+func (f Format) MantBits() int { return f.bits - 1 - f.expBits }
+
+// Precision returns the significand precision in bits (mantissa bits plus
+// the implicit leading bit).
+func (f Format) Precision() int { return f.MantBits() + 1 }
+
+// Bias returns the exponent bias, 2^(|E|-1) - 1.
+func (f Format) Bias() int { return (1 << (f.expBits - 1)) - 1 }
+
+// EMin returns the unbiased exponent of the smallest normal value.
+func (f Format) EMin() int { return 1 - f.Bias() }
+
+// EMax returns the unbiased exponent of the largest finite value.
+func (f Format) EMax() int { return (1<<f.expBits - 2) - f.Bias() }
+
+// NumValues returns the number of bit patterns of the format, 2^n.
+func (f Format) NumValues() uint64 { return 1 << uint(f.bits) }
+
+// Extend returns the format with extra additional mantissa bits and the same
+// exponent width: Extend(2) is the round-to-odd target of the RLibm-All
+// construction.
+func (f Format) Extend(extra int) Format {
+	return MustFormat(f.bits+extra, f.expBits)
+}
+
+// String returns the format in "F25,8" notation.
+func (f Format) String() string { return fmt.Sprintf("F%d,%d", f.bits, f.expBits) }
+
+// Field masks and canonical bit patterns.
+
+func (f Format) signMask() uint64 { return 1 << uint(f.bits-1) }
+func (f Format) expMask() uint64  { return ((1 << uint(f.expBits)) - 1) << uint(f.MantBits()) }
+func (f Format) mantMask() uint64 { return (1 << uint(f.MantBits())) - 1 }
+
+// SignBit reports whether the sign bit of b is set.
+func (f Format) SignBit(b uint64) bool { return b&f.signMask() != 0 }
+
+// ExpField returns the raw (biased) exponent field of b.
+func (f Format) ExpField(b uint64) uint64 { return (b & f.expMask()) >> uint(f.MantBits()) }
+
+// MantField returns the raw mantissa field of b.
+func (f Format) MantField(b uint64) uint64 { return b & f.mantMask() }
+
+// IsNaN reports whether b encodes a NaN.
+func (f Format) IsNaN(b uint64) bool {
+	return f.ExpField(b) == (1<<uint(f.expBits))-1 && f.MantField(b) != 0
+}
+
+// IsInf reports whether b encodes ±∞.
+func (f Format) IsInf(b uint64) bool {
+	return f.ExpField(b) == (1<<uint(f.expBits))-1 && f.MantField(b) == 0
+}
+
+// IsZero reports whether b encodes ±0.
+func (f Format) IsZero(b uint64) bool { return b&^f.signMask() == 0 }
+
+// IsSubnormal reports whether b encodes a nonzero subnormal value.
+func (f Format) IsSubnormal(b uint64) bool {
+	return f.ExpField(b) == 0 && f.MantField(b) != 0
+}
+
+// IsFinite reports whether b encodes a finite value (including zero).
+func (f Format) IsFinite(b uint64) bool {
+	return f.ExpField(b) != (1<<uint(f.expBits))-1
+}
+
+// NaN returns the canonical quiet NaN bit pattern.
+func (f Format) NaN() uint64 {
+	return f.expMask() | (1 << uint(f.MantBits()-1))
+}
+
+// Inf returns the bit pattern of +∞ (negative=false) or -∞.
+func (f Format) Inf(negative bool) uint64 {
+	b := f.expMask()
+	if negative {
+		b |= f.signMask()
+	}
+	return b
+}
+
+// Zero returns the bit pattern of +0 or -0.
+func (f Format) Zero(negative bool) uint64 {
+	if negative {
+		return f.signMask()
+	}
+	return 0
+}
+
+// MaxFinite returns the bit pattern of the largest positive finite value.
+func (f Format) MaxFinite() uint64 {
+	return (f.expMask() - (1 << uint(f.MantBits()))) | f.mantMask()
+}
+
+// MinSubnormal returns the bit pattern of the smallest positive value.
+func (f Format) MinSubnormal() uint64 { return 1 }
+
+// MaxFiniteValue returns the largest positive finite value as a float64.
+func (f Format) MaxFiniteValue() float64 { return f.Decode(f.MaxFinite()) }
+
+// MinSubnormalValue returns the smallest positive value as a float64.
+func (f Format) MinSubnormalValue() float64 { return f.Decode(f.MinSubnormal()) }
+
+// Decode returns the value encoded by the low Bits() bits of b as a
+// float64. The conversion is exact for every supported format. NaN decodes
+// to a float64 NaN, infinities to ±Inf.
+func (f Format) Decode(b uint64) float64 {
+	b &= f.NumValues() - 1
+	sign := 1.0
+	if f.SignBit(b) {
+		sign = -1.0
+	}
+	exp := f.ExpField(b)
+	mant := f.MantField(b)
+	p := uint(f.MantBits())
+	switch {
+	case exp == (1<<uint(f.expBits))-1:
+		if mant != 0 {
+			return math.NaN()
+		}
+		return sign * math.Inf(1)
+	case exp == 0:
+		if mant == 0 {
+			return sign * 0.0
+		}
+		return sign * math.Ldexp(float64(mant), f.EMin()-int(p))
+	default:
+		sig := float64(mant) + float64(uint64(1)<<p)
+		return sign * math.Ldexp(sig, int(exp)-f.Bias()-int(p))
+	}
+}
+
+// NextUp returns the bit pattern of the least value greater than b
+// (IEEE-754 nextUp). NextUp(maxFinite) is +∞, NextUp(-minSub) is -0,
+// NextUp(±0) is the minimum positive subnormal, NextUp(+∞) is +∞, and
+// NaN propagates.
+func (f Format) NextUp(b uint64) uint64 {
+	switch {
+	case f.IsNaN(b):
+		return b
+	case f.IsZero(b):
+		return f.MinSubnormal()
+	case !f.SignBit(b):
+		if f.IsInf(b) {
+			return b
+		}
+		return b + 1
+	default:
+		return b - 1 // negative: toward zero is up
+	}
+}
+
+// NextDown returns the bit pattern of the greatest value less than b
+// (IEEE-754 nextDown).
+func (f Format) NextDown(b uint64) uint64 {
+	switch {
+	case f.IsNaN(b):
+		return b
+	case f.IsZero(b):
+		return f.signMask() | f.MinSubnormal()
+	case f.SignBit(b):
+		if f.IsInf(b) {
+			return b
+		}
+		return b + 1
+	default:
+		return b - 1
+	}
+}
+
+// OddMantissa reports whether the least significant mantissa bit of b is
+// set; this is the parity used by round-to-odd.
+func (f Format) OddMantissa(b uint64) bool { return b&1 != 0 }
+
+// Contains reports whether the float64 v is exactly representable in f.
+// NaN is considered representable (as the canonical NaN).
+func (f Format) Contains(v float64) bool {
+	if math.IsNaN(v) {
+		return true
+	}
+	b := f.FromFloat64(v, RoundTowardZero)
+	return f.Decode(b) == v
+}

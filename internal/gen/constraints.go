@@ -1,0 +1,239 @@
+// Package gen implements the RLIBM-Prog progressive polynomial generator:
+// it enumerates every input of every representation level, computes
+// correctly rounded results with the oracle, derives reduced rounding
+// intervals through the inverse output compensation, and solves the
+// resulting huge low-dimensional constraint system with the Clarkson
+// randomized solver, escalating term counts, sub-domain splits and
+// special-case inputs exactly as §3 of the paper describes.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"math/big"
+
+	"repro/internal/bigmath"
+	"repro/internal/fp"
+	"repro/internal/interval"
+	"repro/internal/oracle"
+	"repro/internal/reduction"
+)
+
+// rawConstraint is one pre-merge constraint: input xbits of some level
+// requires the kernel output at reduced input r to lie in [lo, hi].
+type rawConstraint struct {
+	r      float64
+	lo, hi float64
+	xbits  uint64
+}
+
+// mergedRow is a post-merge constraint: the intersection of all raw
+// constraints sharing r within one (kernel, level).
+type mergedRow struct {
+	r      float64
+	lo, hi float64
+	inputs int32 // number of raw constraints merged in
+}
+
+// levelConstraints is the constraint set of one (kernel polynomial, level).
+type levelConstraints struct {
+	raw    []rawConstraint // sorted by r after build
+	merged []mergedRow
+}
+
+// constraintSet carries everything enumerated for one function.
+type constraintSet struct {
+	// perKernel[p][levelIdx]
+	perKernel [][]levelConstraints
+	// specials[levelIdx] collects inputs that cannot be served by the
+	// polynomial path: empty inversions, merge conflicts, unusable
+	// intervals (zero/inf results past Reduce).
+	specials []map[uint64]struct{}
+	// rawCount is the total number of pre-merge constraints (the paper's
+	// n, e.g. 512 million for e^x at full scale).
+	rawCount int
+}
+
+// buildConstraints enumerates every finite input of every level and builds
+// the merged constraint system.
+func buildConstraints(fn bigmath.Func, scheme reduction.Scheme, orc *oracle.Oracle,
+	levels []fp.Format, progressiveRO bool, logf func(string, ...interface{})) (*constraintSet, error) {
+
+	nk := scheme.NumPolys()
+	cs := &constraintSet{
+		perKernel: make([][]levelConstraints, nk),
+		specials:  make([]map[uint64]struct{}, len(levels)),
+	}
+	for p := 0; p < nk; p++ {
+		cs.perKernel[p] = make([]levelConstraints, len(levels))
+	}
+	for i := range cs.specials {
+		cs.specials[i] = make(map[uint64]struct{})
+	}
+
+	tp, twoPoly := scheme.(reduction.TwoPoly)
+	type kernelPair struct{ k0, k1 *big.Float }
+	var kernelCache map[float64]kernelPair
+	if twoPoly {
+		kernelCache = make(map[float64]kernelPair)
+	}
+	dedupByCtx := fn == bigmath.SinPi || fn == bigmath.CosPi
+	var seenCtx map[reduction.Ctx]struct{}
+	if dedupByCtx {
+		seenCtx = make(map[reduction.Ctx]struct{})
+	}
+
+	for li, lvl := range levels {
+		largest := li == len(levels)-1
+		outFmt := lvl
+		mode := fp.RoundNearestEven
+		if largest || progressiveRO {
+			outFmt = lvl.Extend(2)
+			mode = fp.RoundToOdd
+		}
+		nvals := lvl.NumValues()
+		count := 0
+		for b := uint64(0); b < nvals; b++ {
+			x := lvl.Decode(b)
+			ctx, regular := scheme.Reduce(x)
+			if !regular {
+				continue // structural special path, correct by construction
+			}
+			if dedupByCtx {
+				// Identical reduction state implies identical function value
+				// and constraints for the sinpi/cospi family.
+				if _, dup := seenCtx[ctx]; dup {
+					continue
+				}
+				seenCtx[ctx] = struct{}{}
+			}
+			bits := orc.Result(x, outFmt, mode)
+			iv, usable := interval.Rounding(outFmt, bits, mode)
+			if !usable {
+				// Zero or infinite correctly rounded result: no interval to
+				// constrain (the sign of zero would be pinned), but the
+				// polynomial path's final rounding saturates/flushes these
+				// inputs correctly on its own. Skip the constraint; the
+				// post-generation verification repairs any input this
+				// optimism gets wrong.
+				continue
+			}
+			if !twoPoly {
+				yiv, ok := reduction.InvertMonotone(scheme, ctx, iv)
+				if !ok {
+					cs.specials[li][b] = struct{}{}
+					continue
+				}
+				lc := &cs.perKernel[0][li]
+				lc.raw = append(lc.raw, rawConstraint{r: ctx.R, lo: yiv.Lo, hi: yiv.Hi, xbits: b})
+				cs.rawCount++
+				count++
+				continue
+			}
+			// Two-kernel schemes: exact kernel values (cached by r) and the
+			// affine box split.
+			kp, haveK := kernelCache[ctx.R]
+			if !haveK {
+				kp.k0, kp.k1 = tp.Kernels(ctx.R, 160)
+				kernelCache[ctx.R] = kp
+			}
+			i0, i1, ok := reduction.SplitAffine(tp, ctx, kp.k0, kp.k1, iv)
+			if !ok {
+				cs.specials[li][b] = struct{}{}
+				continue
+			}
+			for p, box := range [2]interval.Interval{i0, i1} {
+				if box.Lo == -math.MaxFloat64 && box.Hi == math.MaxFloat64 {
+					continue // unconstrained kernel at this input
+				}
+				lc := &cs.perKernel[p][li]
+				lc.raw = append(lc.raw, rawConstraint{r: ctx.R, lo: box.Lo, hi: box.Hi, xbits: b})
+			}
+			cs.rawCount += 2
+			count++
+		}
+		if logf != nil {
+			logf("  level %v: %d poly-path inputs, %d structural specials",
+				lvl, count, len(cs.specials[li]))
+		}
+	}
+
+	// Sort and merge.
+	for p := 0; p < nk; p++ {
+		for li := range levels {
+			lc := &cs.perKernel[p][li]
+			sort.Slice(lc.raw, func(i, j int) bool { return lc.raw[i].r < lc.raw[j].r })
+			lc.merged = mergeRaw(lc.raw, func(xbits uint64) {
+				cs.specials[li][xbits] = struct{}{}
+			})
+			// Singleton rows covering at most two inputs (exact results such
+			// as 10^k for exp10) pin a coefficient combination to one double
+			// each and force the exact LP on every sample; a special-case
+			// table entry is cheaper in both generation time and runtime —
+			// this is where a share of the paper's "special case inputs"
+			// comes from. Rows shared by many inputs (e.g. exp2's r = 0,
+			// owned by every integer input) stay as equality constraints.
+			kept := lc.merged[:0]
+			for _, m := range lc.merged {
+				if m.lo == m.hi && m.inputs <= 2 {
+					for _, xb := range lc.inputsOfRow(m.r) {
+						cs.specials[li][xb] = struct{}{}
+					}
+					continue
+				}
+				kept = append(kept, m)
+			}
+			lc.merged = kept
+		}
+	}
+	return cs, nil
+}
+
+// mergeRaw intersects runs of equal reduced input. A raw constraint that
+// would empty the running intersection is evicted to the special list (its
+// freedom is incompatible with the other inputs sharing the reduced input).
+func mergeRaw(raw []rawConstraint, evict func(xbits uint64)) []mergedRow {
+	var out []mergedRow
+	i := 0
+	for i < len(raw) {
+		j := i
+		row := mergedRow{r: raw[i].r, lo: raw[i].lo, hi: raw[i].hi, inputs: 1}
+		for j++; j < len(raw) && raw[j].r == row.r; j++ {
+			lo := math.Max(row.lo, raw[j].lo)
+			hi := math.Min(row.hi, raw[j].hi)
+			if lo > hi {
+				evict(raw[j].xbits)
+				continue
+			}
+			row.lo, row.hi = lo, hi
+			row.inputs++
+		}
+		out = append(out, row)
+		i = j
+	}
+	return out
+}
+
+// inputsOfRow returns the input bit patterns whose raw constraints merged
+// into the row at reduced input r (binary search over the sorted raw
+// slice).
+func (lc *levelConstraints) inputsOfRow(r float64) []uint64 {
+	lo := sort.Search(len(lc.raw), func(i int) bool { return lc.raw[i].r >= r })
+	var out []uint64
+	for i := lo; i < len(lc.raw) && lc.raw[i].r == r; i++ {
+		out = append(out, lc.raw[i].xbits)
+	}
+	return out
+}
+
+func (cs *constraintSet) describe() string {
+	total := 0
+	for _, pk := range cs.perKernel {
+		for _, lc := range pk {
+			total += len(lc.merged)
+		}
+	}
+	return fmt.Sprintf("%d raw constraints, %d merged rows", cs.rawCount, total)
+}

@@ -1,0 +1,66 @@
+package gen
+
+import (
+	"testing"
+)
+
+func TestMergeRaw(t *testing.T) {
+	raw := []rawConstraint{
+		{r: 1, lo: 0, hi: 10, xbits: 1},
+		{r: 1, lo: 2, hi: 8, xbits: 2},
+		{r: 1, lo: 9, hi: 12, xbits: 3}, // conflicts with the running [2,8]
+		{r: 2, lo: -1, hi: 1, xbits: 4},
+		{r: 3, lo: 5, hi: 5, xbits: 5}, // singleton
+	}
+	var evicted []uint64
+	rows := mergeRaw(raw, func(xb uint64) { evicted = append(evicted, xb) })
+	if len(rows) != 3 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	if rows[0].r != 1 || rows[0].lo != 2 || rows[0].hi != 8 || rows[0].inputs != 2 {
+		t.Errorf("row 0: %+v", rows[0])
+	}
+	if len(evicted) != 1 || evicted[0] != 3 {
+		t.Errorf("evicted: %v", evicted)
+	}
+	if rows[2].lo != rows[2].hi {
+		t.Errorf("singleton row: %+v", rows[2])
+	}
+}
+
+func TestInputsOfRow(t *testing.T) {
+	lc := levelConstraints{raw: []rawConstraint{
+		{r: 1, xbits: 10},
+		{r: 2, xbits: 20},
+		{r: 2, xbits: 21},
+		{r: 3, xbits: 30},
+	}}
+	got := lc.inputsOfRow(2)
+	if len(got) != 2 || got[0] != 20 || got[1] != 21 {
+		t.Errorf("inputsOfRow(2) = %v", got)
+	}
+	if got := lc.inputsOfRow(5); len(got) != 0 {
+		t.Errorf("inputsOfRow(5) = %v", got)
+	}
+}
+
+func TestSplitDomainAndBump(t *testing.T) {
+	b := splitDomain(0, 1, 4)
+	if len(b) != 5 || b[0] != 0 || b[4] != 1 || b[2] != 0.5 {
+		t.Errorf("splitDomain: %v", b)
+	}
+	// bumpTerms cascades to keep monotonicity.
+	terms := []int{2, 2, 5}
+	meta := []rowMeta{{level: 0}, {level: 0}, {level: 1}}
+	if !bumpTerms(terms, 5, []int{0, 1}, meta) {
+		t.Fatal("bump failed")
+	}
+	if terms[0] != 3 || terms[1] != 3 {
+		t.Errorf("terms after bump: %v", terms)
+	}
+	// Exhausted: all lower levels at k.
+	terms = []int{5, 5, 5}
+	if bumpTerms(terms, 5, nil, meta) {
+		t.Error("bump should fail when lower levels are maxed")
+	}
+}

@@ -1,0 +1,528 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/bigmath"
+	"repro/internal/clarkson"
+	"repro/internal/fp"
+	"repro/internal/oracle"
+	"repro/internal/poly"
+	"repro/internal/reduction"
+)
+
+// Options configures a generation run.
+type Options struct {
+	// Levels lists the representations from smallest to largest (e.g.
+	// bfloat16, tensorfloat32, float); the largest level's constraints are
+	// built for its 2-bit round-to-odd extension, the others for
+	// round-to-nearest-even, as in the paper. All levels must share the
+	// exponent width 8.
+	Levels []fp.Format
+	// MaxTerms bounds the term count of the full polynomial (default 8).
+	MaxTerms int
+	// MaxPieces bounds sub-domain splitting (default 4, as in Table 1).
+	MaxPieces int
+	// MaxSpecials bounds LP-violation special-case inputs per sub-domain
+	// (default 4, as in Table 1).
+	MaxSpecials int
+	// ClarksonIters bounds sampling iterations per solve attempt
+	// (default 220).
+	ClarksonIters int
+	// ForcePieces, when positive, pins the sub-domain count instead of the
+	// adaptive 1→MaxPieces escalation — this is how the RLibm-All baseline
+	// (large piecewise tables, single level) is generated.
+	ForcePieces int
+	// ProgressiveRO constrains the lower levels with round-to-odd
+	// intervals at level+2 bits instead of round-to-nearest: the truncated
+	// progressive evaluations then produce correctly rounded results for
+	// *all five* rounding modes (and every narrower format), not just rn —
+	// an extension beyond the paper's Table 2 guarantee, typically at the
+	// cost of one extra term per lower level.
+	ProgressiveRO bool
+	// Seed drives all randomness; runs are reproducible.
+	Seed int64
+	// Logf, when non-nil, receives progress lines.
+	Logf func(string, ...interface{})
+	// Oracle, when non-nil, is used instead of a fresh one — sharing it
+	// with the verification pass reuses its identity caches.
+	Oracle *oracle.Oracle
+}
+
+func (o *Options) defaults() {
+	if len(o.Levels) == 0 {
+		o.Levels = StandardLevels(DefaultLargestBits)
+	}
+	if o.MaxTerms == 0 {
+		o.MaxTerms = 8
+	}
+	if o.MaxPieces == 0 {
+		o.MaxPieces = 4
+	}
+	if o.MaxSpecials == 0 {
+		o.MaxSpecials = 4
+	}
+	if o.ClarksonIters == 0 {
+		o.ClarksonIters = 220
+	}
+}
+
+// DefaultLargestBits is the default width of the largest representation:
+// the paper uses 32; the default experiments here use 22 so that exhaustive
+// enumeration and verification of every function stay single-core-feasible
+// (see DESIGN.md §3). Every code path is width-parametric.
+const DefaultLargestBits = 22
+
+// StandardLevels returns the paper's representation triple with the given
+// largest width: bfloat16, tensorfloat32 and F(largestBits,8).
+func StandardLevels(largestBits int) []fp.Format {
+	return []fp.Format{fp.Bfloat16, fp.TensorFloat32, fp.MustFormat(largestBits, 8)}
+}
+
+// Piece is one sub-domain of a generated kernel polynomial.
+type Piece struct {
+	Lo, Hi float64
+	Coeffs []float64
+	// LevelTerms[li] is the number of leading coefficients to evaluate for
+	// level li; the last entry equals len(Coeffs).
+	LevelTerms []int
+}
+
+// KernelPoly is one generated kernel polynomial (functions with two
+// kernels produce two).
+type KernelPoly struct {
+	Structure poly.Structure
+	Pieces    []Piece
+}
+
+// SpecialInput is a per-input patch: when serving X at the level owning
+// this entry, return Proxy rounded to the requested format and mode. Proxy
+// is the decoded round-to-odd result at level+2 bits, so one double is
+// correct for every rounding mode.
+type SpecialInput struct {
+	X     float64
+	Proxy float64
+}
+
+// Stats reports generation effort.
+type Stats struct {
+	Duration       time.Duration
+	RawConstraints int
+	MergedRows     int
+	Iters          int
+	Lucky          int
+	ExactSolves    int
+	Attempts       int
+	Oracle         oracle.Stats
+}
+
+// Result is a generated progressive polynomial implementation.
+type Result struct {
+	Fn       bigmath.Func
+	Levels   []fp.Format
+	Kernels  []KernelPoly
+	Specials [][]SpecialInput // per level
+	// ProgressiveRO records that the lower levels were generated against
+	// round-to-odd intervals, extending their truncated-evaluation
+	// guarantee to all rounding modes and narrower formats.
+	ProgressiveRO bool
+	Stats         Stats
+
+	schemeCache reduction.Scheme
+}
+
+// Scheme returns (and caches) the reduction scheme of the result's
+// function.
+func (res *Result) Scheme() reduction.Scheme {
+	if res.schemeCache == nil {
+		res.schemeCache = reduction.ForFunc(res.Fn)
+	}
+	return res.schemeCache
+}
+
+// Generate runs the full RLIBM-Prog pipeline for fn.
+func Generate(fn bigmath.Func, opt Options) (*Result, error) {
+	opt.defaults()
+	for _, l := range opt.Levels {
+		if l.ExpBits() != 8 {
+			return nil, fmt.Errorf("gen: level %v: schemes support the 8-exponent-bit family only", l)
+		}
+	}
+	for i := 1; i < len(opt.Levels); i++ {
+		if opt.Levels[i].Bits() <= opt.Levels[i-1].Bits() {
+			return nil, fmt.Errorf("gen: levels must be ordered by increasing width")
+		}
+	}
+	start := time.Now()
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	scheme := reduction.ForFunc(fn)
+	orc := opt.Oracle
+	if orc == nil {
+		orc = oracle.New(fn)
+	}
+	if orc.Func() != fn {
+		return nil, fmt.Errorf("gen: oracle is for %v, not %v", orc.Func(), fn)
+	}
+
+	logf("%v: enumerating %d levels ...", fn, len(opt.Levels))
+	cs, err := buildConstraints(fn, scheme, orc, opt.Levels, opt.ProgressiveRO, logf)
+	if err != nil {
+		return nil, err
+	}
+	logf("%v: %s", fn, cs.describe())
+
+	res := &Result{
+		Fn:            fn,
+		Levels:        opt.Levels,
+		Specials:      make([][]SpecialInput, len(opt.Levels)),
+		ProgressiveRO: opt.ProgressiveRO,
+	}
+	rng := rand.New(rand.NewSource(opt.Seed ^ int64(fn)<<32 ^ 0x70726f67))
+
+	for p := 0; p < scheme.NumPolys(); p++ {
+		kp, err := solveKernel(fn, scheme, cs, p, opt, rng, res, logf)
+		if err != nil {
+			return nil, err
+		}
+		res.Kernels = append(res.Kernels, *kp)
+	}
+
+	// Resolve special inputs: for every violated/evicted input, store the
+	// all-modes-correct round-to-odd proxy of its level.
+	for li, set := range cs.specials {
+		lvl := opt.Levels[li]
+		ext := lvl.Extend(2)
+		for b := range set {
+			x := lvl.Decode(b)
+			proxy := ext.Decode(orc.Result(x, ext, fp.RoundToOdd))
+			res.Specials[li] = append(res.Specials[li], SpecialInput{X: x, Proxy: proxy})
+		}
+		sort.Slice(res.Specials[li], func(i, j int) bool {
+			return res.Specials[li][i].X < res.Specials[li][j].X
+		})
+	}
+
+	res.Stats.Duration = time.Since(start)
+	res.Stats.RawConstraints = cs.rawCount
+	for _, pk := range cs.perKernel {
+		for _, lc := range pk {
+			res.Stats.MergedRows += len(lc.merged)
+		}
+	}
+	res.Stats.Oracle = orc.Stats()
+	logf("%v: done in %v (%d attempts, %d iters, %d lucky, %d exact solves)",
+		fn, res.Stats.Duration.Round(time.Millisecond), res.Stats.Attempts,
+		res.Stats.Iters, res.Stats.Lucky, res.Stats.ExactSolves)
+	return res, nil
+}
+
+// solveKernel finds a piecewise progressive polynomial for kernel p.
+func solveKernel(fn bigmath.Func, scheme reduction.Scheme, cs *constraintSet, p int,
+	opt Options, rng *rand.Rand, res *Result, logf func(string, ...interface{})) (*KernelPoly, error) {
+
+	domLo, domHi := scheme.ReducedDomain()
+	st := scheme.Structure(p)
+	nLevels := len(opt.Levels)
+
+	startPieces, maxPieces := 1, opt.MaxPieces
+	if opt.ForcePieces > 0 {
+		startPieces, maxPieces = opt.ForcePieces, opt.ForcePieces
+	}
+	for pieces := startPieces; pieces <= maxPieces; pieces *= 2 {
+		bounds := splitDomain(domLo, domHi, pieces)
+		kp := &KernelPoly{Structure: st}
+		ok := true
+		var pending []violation
+		for pi := 0; pi < pieces && ok; pi++ {
+			lo, hi := bounds[pi], bounds[pi+1]
+			rows, rowMeta := collectRows(cs, p, lo, hi, pi == pieces-1, nLevels)
+			piece, viols, found := solvePiece(rows, rowMeta, st, nLevels, opt, rng, res)
+			if !found {
+				ok = false
+				break
+			}
+			piece.Lo, piece.Hi = lo, hi
+			kp.Pieces = append(kp.Pieces, *piece)
+			pending = append(pending, viols...)
+		}
+		if ok {
+			// Commit deferred specials: every input whose raw constraint
+			// merged into a violated row.
+			for _, v := range pending {
+				for _, xb := range cs.perKernel[p][v.level].inputsOfRow(v.r) {
+					cs.specials[v.level][xb] = struct{}{}
+				}
+			}
+			logf("  kernel %d: %d piece(s), terms %v", p, len(kp.Pieces),
+				kp.Pieces[0].LevelTerms)
+			return kp, nil
+		}
+		logf("  kernel %d: %d piece(s) insufficient, splitting", p, pieces)
+	}
+	return nil, fmt.Errorf("gen: %v kernel %d unsolvable within %d pieces × %d terms",
+		fn, p, opt.MaxPieces, opt.MaxTerms)
+}
+
+// rowMeta identifies the origin of each clarkson row.
+type rowMeta struct {
+	level  int
+	r      float64
+	inputs int32
+}
+
+// collectRows gathers the merged rows of kernel p with reduced input in
+// [lo, hi) (closed above for the last piece), tagged by level.
+func collectRows(cs *constraintSet, p int, lo, hi float64, lastPiece bool, nLevels int) ([]clarkson.Row, []rowMeta) {
+	var rows []clarkson.Row
+	var meta []rowMeta
+	for li := 0; li < nLevels; li++ {
+		for _, m := range cs.perKernel[p][li].merged {
+			if m.r < lo || m.r > hi || (m.r == hi && !lastPiece) {
+				continue
+			}
+			rows = append(rows, clarkson.Row{X: m.r, Lo: m.lo, Hi: m.hi, Inputs: m.inputs})
+			meta = append(meta, rowMeta{level: li, r: m.r, inputs: m.inputs})
+		}
+	}
+	return rows, meta
+}
+
+// splitDomain returns n+1 boundaries splitting [lo, hi] evenly.
+func splitDomain(lo, hi float64, n int) []float64 {
+	b := make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		b[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	b[0], b[n] = lo, hi
+	return b
+}
+
+// solvePiece searches term-count assignments for one sub-domain: the total
+// term count k grows from 1 to MaxTerms, and for each k the lower levels'
+// term counts escalate from their minima toward k, bumping the level with
+// the most violations after each failed joint solve (§3.3: "we increment
+// the number of terms used for the smaller bitwidth representations ...
+// we increase the number of terms used for the largest representation when
+// we are unable to find a progressive polynomial after increasing the
+// terms used for the smaller representations").
+func solvePiece(rows []clarkson.Row, meta []rowMeta, st poly.Structure, nLevels int,
+	opt Options, rng *rand.Rand, res *Result) (*Piece, []violation, bool) {
+
+	if len(rows) == 0 {
+		return &Piece{Coeffs: []float64{0}, LevelTerms: onesVector(nLevels, 1)}, nil, true
+	}
+	xScale := 0.0
+	for _, r := range rows {
+		if a := math.Abs(r.X); a > xScale {
+			xScale = a
+		}
+	}
+	if xScale == 0 {
+		xScale = 1
+	}
+
+	// Pre-compute each lower level's minimum viable term count by solving
+	// that level's rows alone (necessary-condition pruning: the joint
+	// system can only need more). This skips the hopeless low-term joint
+	// attempts, which dominate wall time otherwise. Zero terms are allowed:
+	// the paper's Table 1 reports functions whose bfloat16 path needs no
+	// polynomial at all.
+	minT := make([]int, nLevels)
+	for li := 0; li < nLevels-1; li++ {
+		minT[li] = minLevelTerms(rows, meta, li, st, xScale, opt, rng)
+		if opt.Logf != nil {
+			opt.Logf("    level %d minimum terms: %d", li, minT[li])
+		}
+	}
+
+	for k := 1; k <= opt.MaxTerms; k++ {
+		terms := make([]int, nLevels)
+		feasibleStart := true
+		for li := 0; li < nLevels-1; li++ {
+			terms[li] = minT[li]
+			if terms[li] > k {
+				feasibleStart = false
+			}
+		}
+		// Keep the vector monotone non-decreasing.
+		for li := nLevels - 2; li > 0; li-- {
+			if terms[li-1] > terms[li] {
+				terms[li] = terms[li-1]
+			}
+		}
+		if !feasibleStart {
+			continue // some lower level needs more terms than k provides
+		}
+		terms[nLevels-1] = k
+		for {
+			assignTerms(rows, meta, terms)
+			if opt.Logf != nil {
+				opt.Logf("    attempting k=%d terms=%v ...", k, terms)
+			}
+			cfg := clarkson.Config{
+				TotalTerms:       k,
+				MaxIters:         opt.ClarksonIters,
+				AcceptViolations: opt.MaxSpecials,
+				XScale:           xScale,
+				Structure:        st,
+				Rng:              rng,
+			}
+			cr := clarkson.Solve(rows, cfg)
+			res.Stats.Attempts++
+			res.Stats.Iters += cr.Iters
+			res.Stats.Lucky += cr.Lucky
+			res.Stats.ExactSolves += cr.ExactSolves
+			if opt.Logf != nil {
+				opt.Logf("    attempt k=%d terms=%v rows=%d: found=%v infeasible=%v best=%d iters=%d lucky=%d exact=%d lastErr=%v",
+					k, terms, len(rows), cr.Found, cr.Infeasible, cr.BestViolations, cr.Iters, cr.Lucky, cr.ExactSolves, cr.LastErr)
+			}
+			if cr.Found {
+				// Violations become special inputs if the *input* count
+				// stays within budget.
+				viols, withinBudget := violationSpecials(cr.Violations, meta, opt.MaxSpecials)
+				if withinBudget {
+					return &Piece{Coeffs: cr.Coeffs, LevelTerms: append([]int(nil), terms...)},
+						viols, true
+				}
+			}
+			// Escalate: bump the lower level with the most violations at
+			// the best solution seen.
+			viol := cr.Violations
+			if len(viol) == 0 {
+				viol = cr.BestViolated
+			}
+			bumped := bumpTerms(terms, k, viol, meta)
+			if !bumped {
+				break
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// minLevelTerms returns the smallest t (possibly 0) for which level li's
+// rows alone are satisfiable with a t-term polynomial, or MaxTerms when
+// none is found (the joint search will then skip k < MaxTerms starts).
+func minLevelTerms(rows []clarkson.Row, meta []rowMeta, li int, st poly.Structure,
+	xScale float64, opt Options, rng *rand.Rand) int {
+
+	var lvlRows []clarkson.Row
+	for i := range rows {
+		if meta[i].level == li {
+			r := rows[i]
+			lvlRows = append(lvlRows, r)
+		}
+	}
+	if len(lvlRows) == 0 {
+		return 0
+	}
+	// t = 0: the zero polynomial.
+	zeroOK := true
+	budget := 0
+	for i := range lvlRows {
+		if lvlRows[i].Lo > 0 || lvlRows[i].Hi < 0 {
+			budget += int(lvlRows[i].Inputs)
+			if lvlRows[i].Inputs <= 0 {
+				budget++
+			}
+		}
+	}
+	if budget > opt.MaxSpecials {
+		zeroOK = false
+	}
+	if zeroOK {
+		return 0
+	}
+	for t := 1; t < opt.MaxTerms; t++ {
+		for i := range lvlRows {
+			lvlRows[i].Terms = t
+		}
+		cr := clarkson.Solve(lvlRows, clarkson.Config{
+			TotalTerms:       t,
+			MaxIters:         80,
+			AcceptViolations: opt.MaxSpecials,
+			XScale:           xScale,
+			Structure:        st,
+			Rng:              rng,
+		})
+		if cr.Found {
+			return t
+		}
+	}
+	return opt.MaxTerms
+}
+
+func onesVector(n, v int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// assignTerms writes the hypothesized per-level term counts into the rows.
+func assignTerms(rows []clarkson.Row, meta []rowMeta, terms []int) {
+	for i := range rows {
+		rows[i].Terms = terms[meta[i].level]
+	}
+}
+
+// violation identifies a violated merged row by level and reduced input.
+type violation struct {
+	level int
+	r     float64
+}
+
+// violationSpecials converts violated rows to per-level special markers,
+// enforcing the per-piece special budget in *input* counts (a merged row
+// may cover many inputs).
+func violationSpecials(violated []int, meta []rowMeta, budget int) ([]violation, bool) {
+	total := 0
+	var out []violation
+	for _, vi := range violated {
+		total += int(meta[vi].inputs)
+		out = append(out, violation{level: meta[vi].level, r: meta[vi].r})
+	}
+	if total > budget {
+		return nil, false
+	}
+	return out, true
+}
+
+// bumpTerms increases the term count of the lower level with the most
+// violated rows (ties to the smallest level), cascading the increase
+// upward so the vector stays monotone (terms[0] ≤ … ≤ terms[n-1] = k).
+// It returns false when no lower level can grow further.
+func bumpTerms(terms []int, k int, violated []int, meta []rowMeta) bool {
+	n := len(terms)
+	counts := make([]int, n)
+	for _, vi := range violated {
+		counts[meta[vi].level]++
+	}
+	best := -1
+	for li := 0; li < n-1; li++ {
+		if terms[li] >= k {
+			continue
+		}
+		if best < 0 || counts[li] > counts[best] {
+			best = li
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	terms[best]++
+	for li := best + 1; li < n-1; li++ {
+		if terms[li] < terms[li-1] {
+			terms[li] = terms[li-1]
+		}
+	}
+	return true
+}

@@ -1,0 +1,158 @@
+// Package interval computes rounding intervals: for a correctly rounded
+// result v of an elementary function in a format T under a rounding mode,
+// the interval of values around v that round to v. Following the RLibm
+// approach, the polynomial approximation is free to produce any value in
+// this interval (Figure 1 of the paper).
+//
+// Intervals are materialized as closed intervals of float64 endpoints: the
+// production pipeline evaluates polynomials in double precision, so the
+// usable freedom is exactly the set of doubles contained in the real
+// rounding interval. Open real endpoints are shrunk to the adjacent double.
+package interval
+
+import (
+	"math"
+
+	"repro/internal/fp"
+)
+
+// Interval is a closed, nonempty-unless-inverted interval [Lo, Hi] of
+// doubles.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Empty reports whether the interval contains no value.
+func (iv Interval) Empty() bool { return !(iv.Lo <= iv.Hi) }
+
+// Contains reports whether y lies in the interval.
+func (iv Interval) Contains(y float64) bool { return iv.Lo <= y && y <= iv.Hi }
+
+// Intersect returns the intersection of two intervals (possibly empty).
+func (iv Interval) Intersect(other Interval) Interval {
+	return Interval{Lo: math.Max(iv.Lo, other.Lo), Hi: math.Min(iv.Hi, other.Hi)}
+}
+
+// Singleton reports whether the interval holds exactly one value.
+func (iv Interval) Singleton() bool { return iv.Lo == iv.Hi }
+
+// openAbove returns the largest double strictly below v.
+func openBelow(v float64) float64 { return math.Nextafter(v, math.Inf(-1)) }
+
+// openAbove returns the smallest double strictly above v.
+func openAbove(v float64) float64 { return math.Nextafter(v, math.Inf(1)) }
+
+// Rounding returns the rounding interval of the value encoded by bits in
+// format f under mode: the set of doubles y with f.FromFloat64(y, mode) ==
+// bits and additionally, for nonzero results, sign(y) == sign(v) (so the
+// produced zero signs cannot go wrong downstream).
+//
+// Results that are NaN, ±∞ or ±0 have no usable interval for a polynomial
+// (their "interval" would pin the sign of zero or be unbounded); such
+// inputs must be special-cased by the caller, and Rounding reports ok ==
+// false for them.
+func Rounding(f fp.Format, bits uint64, mode fp.Mode) (iv Interval, ok bool) {
+	if f.IsNaN(bits) || f.IsInf(bits) || f.IsZero(bits) {
+		return Interval{}, false
+	}
+	v := f.Decode(bits)
+	neg := f.SignBit(bits)
+
+	// Work on magnitudes: compute the interval for |v| under the
+	// sign-adjusted mode, then mirror.
+	m := mode
+	if neg {
+		switch mode {
+		case fp.RoundTowardPositive:
+			m = fp.RoundTowardNegative
+		case fp.RoundTowardNegative:
+			m = fp.RoundTowardPositive
+		}
+	}
+	mag := math.Abs(v)
+	magBits := bits &^ (1 << uint(f.Bits()-1))
+
+	lo, hi := magnitudeInterval(f, magBits, mag, m)
+	if neg {
+		lo, hi = -hi, -lo
+	}
+	return Interval{Lo: lo, Hi: hi}, true
+}
+
+// magnitudeInterval returns the closed double interval of positive
+// magnitudes rounding to the positive value mag (bit pattern magBits) under
+// a mode already adjusted for sign (ru means away from zero, rd toward).
+func magnitudeInterval(f fp.Format, magBits uint64, mag float64, m fp.Mode) (lo, hi float64) {
+	// Neighbours in magnitude. prev may be 0 (for the minimum subnormal);
+	// next may exceed maxFinite (for maxFinite itself) — both are exact
+	// doubles.
+	prev := f.Decode(f.NextDown(magBits)) // ≥ 0
+	var next float64
+	up := f.NextUp(magBits)
+	if f.IsInf(up) {
+		// One ulp above maxFinite: 2^(EMax+1), exact in double.
+		next = math.Ldexp(1, f.EMax()+1)
+	} else {
+		next = f.Decode(up)
+	}
+
+	switch m {
+	case fp.RoundToOdd:
+		if f.OddMantissa(magBits) {
+			// All reals strictly between the even neighbours round here,
+			// including everything beyond maxFinite when mag is maxFinite.
+			hi = openBelow(next)
+			if f.NextUp(magBits) == f.Inf(false) {
+				hi = math.MaxFloat64
+			}
+			return openAbove(prev), hi
+		}
+		// Even: only the exact value rounds to it.
+		return mag, mag
+
+	case fp.RoundNearestEven, fp.RoundNearestAway:
+		// Midpoints are exact doubles: one extra significand bit.
+		midLo := prev + (mag-prev)/2
+		midHi := mag + (next-mag)/2
+		loClosed := false
+		hiClosed := false
+		if m == fp.RoundNearestEven {
+			even := !f.OddMantissa(magBits)
+			loClosed, hiClosed = even, even
+		} else {
+			// Ties away from zero: the lower midpoint rounds up to mag
+			// (away), the upper midpoint rounds past mag.
+			loClosed, hiClosed = true, false
+		}
+		lo, hi = midLo, midHi
+		if !loClosed {
+			lo = openAbove(lo)
+		}
+		if !hiClosed {
+			hi = openBelow(hi)
+		}
+		return lo, hi
+
+	case fp.RoundTowardZero:
+		// [mag, next): everything from mag up to (not including) next
+		// truncates to mag; beyond maxFinite also truncates to maxFinite.
+		hi = openBelow(next)
+		if f.NextUp(magBits) == f.Inf(false) {
+			hi = math.MaxFloat64
+		}
+		return mag, hi
+
+	case fp.RoundTowardNegative:
+		// Toward zero for magnitudes (sign pre-adjusted): same as rz.
+		hi = openBelow(next)
+		if f.NextUp(magBits) == f.Inf(false) {
+			hi = math.MaxFloat64
+		}
+		return mag, hi
+
+	case fp.RoundTowardPositive:
+		// Away from zero for magnitudes: (prev, mag].
+		return openAbove(prev), mag
+	}
+	panic("interval: bad mode")
+}

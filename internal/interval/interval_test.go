@@ -1,0 +1,162 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fp"
+)
+
+func TestBasicOps(t *testing.T) {
+	a := Interval{1, 3}
+	b := Interval{2, 5}
+	got := a.Intersect(b)
+	if got != (Interval{2, 3}) {
+		t.Errorf("intersect: %v", got)
+	}
+	if !a.Contains(1) || !a.Contains(3) || a.Contains(3.5) {
+		t.Error("contains")
+	}
+	if a.Empty() || !(Interval{2, 1}).Empty() {
+		t.Error("empty")
+	}
+	if !(Interval{2, 2}).Singleton() || a.Singleton() {
+		t.Error("singleton")
+	}
+}
+
+func TestRoundingRejectsSpecials(t *testing.T) {
+	f := fp.Bfloat16
+	for _, bits := range []uint64{f.NaN(), f.Inf(false), f.Inf(true), f.Zero(false), f.Zero(true)} {
+		if _, ok := Rounding(f, bits, fp.RoundNearestEven); ok {
+			t.Errorf("bits %#x should have no interval", bits)
+		}
+	}
+}
+
+// The defining property: every double in the interval rounds to the value;
+// the doubles just outside do not (or have a different sign of zero).
+func TestRoundingIntervalProperty(t *testing.T) {
+	formats := []fp.Format{fp.Bfloat16, fp.MustFormat(14, 8), fp.MustFormat(18, 8), fp.Float16}
+	rng := rand.New(rand.NewSource(20))
+	for _, f := range formats {
+		for trial := 0; trial < 30000; trial++ {
+			bits := uint64(rng.Int63()) & (f.NumValues() - 1)
+			mode := fp.AllModes[rng.Intn(len(fp.AllModes))]
+			iv, ok := Rounding(f, bits, mode)
+			if !ok {
+				continue
+			}
+			if iv.Empty() {
+				// Only round-to-odd even values may be "thin", but they are
+				// singletons, never empty.
+				t.Fatalf("%v %#x %v: empty interval %v", f, bits, mode, iv)
+			}
+			// Probe: endpoints, interior samples.
+			probes := []float64{iv.Lo, iv.Hi, iv.Lo + (iv.Hi-iv.Lo)*rng.Float64()}
+			for _, y := range probes {
+				if !iv.Contains(y) {
+					continue
+				}
+				if got := f.FromFloat64(y, mode); got != bits {
+					t.Fatalf("%v bits=%#x mode=%v: y=%g in %v rounds to %#x",
+						f, bits, mode, y, iv, got)
+				}
+			}
+			// Just outside must not round to bits.
+			below := math.Nextafter(iv.Lo, math.Inf(-1))
+			if got := f.FromFloat64(below, mode); got == bits {
+				t.Fatalf("%v bits=%#x mode=%v: below=%g still rounds in (iv=%v)",
+					f, bits, mode, below, iv)
+			}
+			if iv.Hi != math.MaxFloat64 {
+				above := math.Nextafter(iv.Hi, math.Inf(1))
+				if got := f.FromFloat64(above, mode); got == bits {
+					t.Fatalf("%v bits=%#x mode=%v: above=%g still rounds in (iv=%v)",
+						f, bits, mode, above, iv)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundToOddShapes(t *testing.T) {
+	f := fp.Bfloat16
+	one := f.FromFloat64(1, fp.RoundNearestEven)
+	// 1.0 has even mantissa: singleton.
+	iv, ok := Rounding(f, one, fp.RoundToOdd)
+	if !ok || !iv.Singleton() || iv.Lo != 1 {
+		t.Errorf("ro interval of 1.0: %v %v", iv, ok)
+	}
+	// The next value up is odd: interval spans (1, 1+2·ulp) open.
+	oddBits := f.NextUp(one)
+	iv, ok = Rounding(f, oddBits, fp.RoundToOdd)
+	if !ok {
+		t.Fatal("no interval")
+	}
+	next2 := f.Decode(f.NextUp(oddBits))
+	if !(iv.Lo > 1 && iv.Hi < next2 && iv.Lo < f.Decode(oddBits) && iv.Hi > f.Decode(oddBits)) {
+		t.Errorf("ro interval of odd neighbour of 1: %v", iv)
+	}
+	// maxFinite (odd mantissa, all ones): everything above rounds to it.
+	iv, ok = Rounding(f, f.MaxFinite(), fp.RoundToOdd)
+	if !ok || iv.Hi != math.MaxFloat64 {
+		t.Errorf("ro interval of maxFinite: %v", iv)
+	}
+	// Minimum subnormal is odd: interval is (0, 2*minsub) open — never 0.
+	iv, ok = Rounding(f, f.MinSubnormal(), fp.RoundToOdd)
+	if !ok || !(iv.Lo > 0) {
+		t.Errorf("ro interval of minSub: %v", iv)
+	}
+	// Negative odd value mirrors.
+	negOdd := f.Zero(true) | oddBits
+	ivn, ok := Rounding(f, negOdd, fp.RoundToOdd)
+	if !ok || ivn.Lo != -iv.Hi && ivn.Hi != -iv.Lo {
+		// mirror of the minSub interval vs oddBits interval: recompute.
+		ivp, _ := Rounding(f, oddBits, fp.RoundToOdd)
+		if ivn.Lo != -ivp.Hi || ivn.Hi != -ivp.Lo {
+			t.Errorf("negative mirror: %v vs %v", ivn, ivp)
+		}
+	}
+}
+
+func TestNearestIntervalWidths(t *testing.T) {
+	f := fp.Bfloat16
+	bits := f.FromFloat64(1.5, fp.RoundNearestEven) // mantissa 0x40, even
+	iv, _ := Rounding(f, bits, fp.RoundNearestEven)
+	ulp := math.Ldexp(1, -7)
+	if iv.Lo != 1.5-ulp/2 || iv.Hi != 1.5+ulp/2 {
+		t.Errorf("rn interval of 1.5: %v", iv)
+	}
+	// Odd mantissa: open at both midpoints.
+	oddBits := bits + 1
+	iv, _ = Rounding(f, oddBits, fp.RoundNearestEven)
+	v := f.Decode(oddBits)
+	if !(iv.Lo > v-ulp/2 && iv.Hi < v+ulp/2) {
+		t.Errorf("rn interval of odd value: %v", iv)
+	}
+	// ra: lower midpoint included, upper excluded (positive value).
+	iv, _ = Rounding(f, bits, fp.RoundNearestAway)
+	if iv.Lo != 1.5-ulp/2 || !(iv.Hi < 1.5+ulp/2) {
+		t.Errorf("ra interval: %v", iv)
+	}
+}
+
+func TestMaxFiniteNearestOverflowBoundary(t *testing.T) {
+	f := fp.Bfloat16
+	iv, _ := Rounding(f, f.MaxFinite(), fp.RoundNearestEven)
+	// Upper boundary is the overflow threshold maxFinite + ulp/2, excluded
+	// (the tie would round to the "even" 2^(EMax+1), i.e. to infinity).
+	next := math.Ldexp(1, f.EMax()+1)
+	threshold := f.MaxFiniteValue() + (next-f.MaxFiniteValue())/2
+	if !(iv.Hi < threshold) || iv.Hi < f.MaxFiniteValue() {
+		t.Errorf("rn maxFinite interval: %v (threshold %g)", iv, threshold)
+	}
+	if got := f.FromFloat64(iv.Hi, fp.RoundNearestEven); got != f.MaxFinite() {
+		t.Errorf("iv.Hi rounds to %#x", got)
+	}
+	if got := f.FromFloat64(threshold, fp.RoundNearestEven); got != f.Inf(false) {
+		t.Errorf("threshold rounds to %#x", got)
+	}
+}

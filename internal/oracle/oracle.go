@@ -1,0 +1,298 @@
+// Package oracle provides a fast correctly-rounding oracle for the ten
+// elementary functions, layered on the arbitrary-precision bigmath package.
+//
+// RLIBM-Prog computes the oracle result of f(x) for every input of every
+// representation of interest — hundreds of millions of MPFR calls in the
+// paper's setting. The same enumeration in pure Go needs structural
+// accelerations to stay laptop-feasible on one core; each is exact, not
+// approximate:
+//
+//   - identity sharing: log(m·2^e) splits into a per-mantissa series value
+//     (cached) plus an exact e·constant term; sinπ/cosπ reduce exactly to a
+//     small set of z = |x| mod 2 values (cached);
+//   - range clamps: exponential-family results beyond the target's finite
+//     range round identically to a saturated proxy value;
+//   - anchor shortcuts: where |f(x) − a| is provably below half an output
+//     ulp of a representable anchor a (e^x near 1, sinh x near x, cosh x
+//     near 1), the rounded result is decided directly from the direction of
+//     the residual.
+//
+// Everything else falls through to the Ziv loop in bigmath.
+package oracle
+
+import (
+	"math"
+	"math/big"
+
+	"repro/internal/bigmath"
+	"repro/internal/fp"
+)
+
+// cachePrec is the precision of cached per-mantissa / per-reduced-argument
+// series values. The error of a cached value is below 2^-(cachePrec-28),
+// leaving a huge margin over the ≤ 36-bit formats this project targets.
+const cachePrec = 160
+
+// Stats counts which path answered each query; the generation harness
+// reports them.
+type Stats struct {
+	Specials  uint64 // NaN/Inf/zero/domain-error semantics
+	Exacts    uint64 // number-theoretically exact results
+	Clamps    uint64 // overflow/underflow range clamps
+	Anchors   uint64 // anchor shortcuts (result adjacent to a known value)
+	Shared    uint64 // identity-sharing cache hits
+	FullEvals uint64 // full Ziv evaluations
+	Ambiguous uint64 // shared-path answers that had to escalate to Ziv
+}
+
+// Total returns the total number of queries answered.
+func (s Stats) Total() uint64 {
+	return s.Specials + s.Exacts + s.Clamps + s.Anchors + s.Shared + s.FullEvals
+}
+
+// Oracle answers correctly-rounded-result queries for one elementary
+// function. It is not safe for concurrent use.
+type Oracle struct {
+	fn    bigmath.Func
+	stats Stats
+
+	// logCache maps the frexp mantissa bits of x to f(m) at cachePrec,
+	// where m ∈ [0.5, 1); used by ln/log2/log10.
+	logCache map[uint64]*big.Float
+	// trigCache maps the exact reduction z = |x| mod 2 to f(z) at
+	// cachePrec; used by sinpi/cospi.
+	trigCache map[float64]*big.Float
+}
+
+// New returns an oracle for fn.
+func New(fn bigmath.Func) *Oracle {
+	o := &Oracle{fn: fn}
+	switch fn {
+	case bigmath.Ln, bigmath.Log2, bigmath.Log10:
+		o.logCache = make(map[uint64]*big.Float)
+	case bigmath.SinPi, bigmath.CosPi:
+		o.trigCache = make(map[float64]*big.Float)
+	}
+	return o
+}
+
+// Func returns the function this oracle answers for.
+func (o *Oracle) Func() bigmath.Func { return o.fn }
+
+// Stats returns a copy of the path counters.
+func (o *Oracle) Stats() Stats { return o.stats }
+
+// Result returns the bits of fn(x) correctly rounded into out under mode.
+func (o *Oracle) Result(x float64, out fp.Format, mode fp.Mode) uint64 {
+	if bits, ok := bigmath.SpecialBits(o.fn, x, out); ok {
+		o.stats.Specials++
+		return bits
+	}
+	if v, ok := bigmath.ExactValue(o.fn, x); ok {
+		o.stats.Exacts++
+		return out.FromBig(v, mode)
+	}
+	if bits, ok := o.rangeClamp(x, out, mode); ok {
+		o.stats.Clamps++
+		return bits
+	}
+	if bits, ok := o.anchorShortcut(x, out, mode); ok {
+		o.stats.Anchors++
+		return bits
+	}
+	switch o.fn {
+	case bigmath.Ln, bigmath.Log2, bigmath.Log10:
+		return o.logShared(x, out, mode)
+	case bigmath.SinPi, bigmath.CosPi:
+		return o.trigShared(x, out, mode)
+	}
+	o.stats.FullEvals++
+	return out.FromBig(bigmath.EvalUnambiguous(o.fn, x, out, mode), mode)
+}
+
+// rangeClamp answers exponential-family queries whose result magnitude is
+// certainly beyond the finite range of out (or strictly inside the
+// underflow gap), using saturated proxies that round identically in every
+// mode.
+func (o *Oracle) rangeClamp(x float64, out fp.Format, mode fp.Mode) (uint64, bool) {
+	var t float64 // approximate log2 |result|
+	switch o.fn {
+	case bigmath.Exp:
+		t = x * math.Log2E
+	case bigmath.Exp2:
+		t = x
+	case bigmath.Exp10:
+		t = x * math.Log2(10)
+	case bigmath.Sinh, bigmath.Cosh:
+		t = math.Abs(x)*math.Log2E - 1
+		if math.Abs(x) < 4 {
+			return 0, false
+		}
+	default:
+		return 0, false
+	}
+	over := float64(out.EMax() + 2)
+	under := float64(out.EMin() - out.MantBits() - 2)
+	switch {
+	case t > over:
+		proxy := math.MaxFloat64
+		if o.fn == bigmath.Sinh && x < 0 {
+			proxy = -proxy
+		}
+		return out.FromFloat64(proxy, mode), true
+	case t < under && o.fn != bigmath.Sinh && o.fn != bigmath.Cosh:
+		// 0 < result < minSubnormal/4: a positive sticky-only quantity.
+		return out.FromFloat64(math.SmallestNonzeroFloat64, mode), true
+	}
+	return 0, false
+}
+
+// anchorShortcut answers queries where f(x) = a + δ with a representable in
+// out and 0 < |δ| < half the distance to a's neighbour, so the rounded
+// result is a or the adjacent value depending only on mode and parity.
+func (o *Oracle) anchorShortcut(x float64, out fp.Format, mode fp.Mode) (uint64, bool) {
+	p := out.MantBits()
+	switch o.fn {
+	case bigmath.Exp, bigmath.Exp2, bigmath.Exp10:
+		// |e^(cx) − 1| ≤ 2.31|x|·1.01 < half ulp around 1 when
+		// |x| ≤ 2^-(p+4). x ≠ 0 here (exact case).
+		if math.Abs(x) <= math.Ldexp(1, -(p+4)) {
+			return justAside(out, 1, x > 0, mode), true
+		}
+	case bigmath.Sinh:
+		// sinh x − x = x³/6 (+h.o.t.): below half ulp(x) when
+		// |x| ≤ 2^-((p+6)/2). The anchor x must itself be representable.
+		if math.Abs(x) <= math.Ldexp(1, -(p+6)/2-1) && out.Contains(x) {
+			return justAside(out, x, x > 0, mode), true
+		}
+	case bigmath.Cosh:
+		// cosh x − 1 = x²/2 (+h.o.t.).
+		if math.Abs(x) <= math.Ldexp(1, -(p+6)/2-1) {
+			return justAside(out, 1, true, mode), true
+		}
+	}
+	return 0, false
+}
+
+// justAside returns the rounding of anchor+δ (positiveDelta) or anchor−δ,
+// for an anchor exactly representable in out and 0 < δ < half the gap to
+// the adjacent value in that direction.
+func justAside(out fp.Format, anchor float64, positiveDelta bool, mode fp.Mode) uint64 {
+	a := out.FromFloat64(anchor, fp.RoundTowardZero)
+	var lo, hi uint64
+	if positiveDelta {
+		lo, hi = a, out.NextUp(a)
+	} else {
+		lo, hi = out.NextDown(a), a
+	}
+	switch mode {
+	case fp.RoundNearestEven, fp.RoundNearestAway:
+		return a
+	case fp.RoundTowardPositive:
+		return hi
+	case fp.RoundTowardNegative:
+		return lo
+	case fp.RoundTowardZero:
+		if anchor > 0 {
+			return lo
+		}
+		return hi
+	case fp.RoundToOdd:
+		if out.OddMantissa(lo) {
+			return lo
+		}
+		return hi
+	}
+	panic("oracle: bad mode")
+}
+
+// logShared answers log-family queries by combining a cached per-mantissa
+// series value with an exact multiple of a cached constant:
+//
+//	ln(m·2^e)    = ln(m)    + e·ln(2)
+//	log2(m·2^e)  = log2(m)  + e
+//	log10(m·2^e) = log10(m) + e·log10(2)
+//
+// The combined error is far below 2^-(cachePrec-30); if the result still
+// sits too close to a rounding boundary the query escalates to the Ziv
+// loop.
+func (o *Oracle) logShared(x float64, out fp.Format, mode fp.Mode) uint64 {
+	m, e := math.Frexp(x) // x > 0 here
+	key := math.Float64bits(m)
+	fm, ok := o.logCache[key]
+	if !ok {
+		if m == 0.5 {
+			// log(0.5) = -log(2): exact constant, avoids Eval at a point
+			// where the log is an exact multiple of the shared constant.
+			switch o.fn {
+			case bigmath.Ln:
+				fm = new(big.Float).SetPrec(cachePrec).Neg(bigmath.Ln2(cachePrec))
+			case bigmath.Log2:
+				fm = new(big.Float).SetPrec(cachePrec).SetInt64(-1)
+			case bigmath.Log10:
+				fm = new(big.Float).SetPrec(cachePrec).Neg(bigmath.Log10Of2(cachePrec))
+			}
+		} else {
+			fm = bigmath.Eval(o.fn, m, cachePrec)
+		}
+		o.logCache[key] = fm
+	}
+	y := new(big.Float).SetPrec(cachePrec)
+	eb := new(big.Float).SetPrec(cachePrec).SetInt64(int64(e))
+	switch o.fn {
+	case bigmath.Ln:
+		y.Mul(eb, bigmath.Ln2(cachePrec))
+	case bigmath.Log2:
+		y.Set(eb)
+	case bigmath.Log10:
+		y.Mul(eb, bigmath.Log10Of2(cachePrec))
+	}
+	y.Add(y, fm)
+	if bits, ok := o.roundUnlessAmbiguous(y, out, mode); ok {
+		o.stats.Shared++
+		return bits
+	}
+	o.stats.Ambiguous++
+	o.stats.FullEvals++
+	return out.FromBig(bigmath.EvalUnambiguous(o.fn, x, out, mode), mode)
+}
+
+// trigShared answers sinπ/cosπ queries from a cache keyed by the exact
+// reduction z = |x| mod 2, using sinπ(-x) = -sinπ(x) and cosπ(-x) = cosπ(x).
+func (o *Oracle) trigShared(x float64, out fp.Format, mode fp.Mode) uint64 {
+	z := math.Mod(math.Abs(x), 2)
+	fz, ok := o.trigCache[z]
+	if !ok {
+		fz = bigmath.Eval(o.fn, z, cachePrec)
+		o.trigCache[z] = fz
+	}
+	y := fz
+	if o.fn == bigmath.SinPi && math.Signbit(x) {
+		y = new(big.Float).SetPrec(cachePrec).Neg(fz)
+	}
+	if bits, ok := o.roundUnlessAmbiguous(y, out, mode); ok {
+		o.stats.Shared++
+		return bits
+	}
+	o.stats.Ambiguous++
+	o.stats.FullEvals++
+	return out.FromBig(bigmath.EvalUnambiguous(o.fn, x, out, mode), mode)
+}
+
+// roundUnlessAmbiguous rounds y whose relative error is below
+// 2^-(cachePrec-32), reporting failure when the error envelope straddles a
+// rounding boundary of (out, mode).
+func (o *Oracle) roundUnlessAmbiguous(y *big.Float, out fp.Format, mode fp.Mode) (uint64, bool) {
+	if y.Sign() == 0 {
+		return 0, false
+	}
+	eps := new(big.Float).SetPrec(32).SetInt64(1)
+	eps.SetMantExp(eps, y.MantExp(nil)-cachePrec+32)
+	lo := new(big.Float).SetPrec(cachePrec+4).Sub(y, eps)
+	hi := new(big.Float).SetPrec(cachePrec+4).Add(y, eps)
+	a, b := out.FromBig(lo, mode), out.FromBig(hi, mode)
+	if a != b {
+		return 0, false
+	}
+	return a, true
+}

@@ -1,0 +1,169 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bigmath"
+	"repro/internal/fp"
+)
+
+// Exhaustive cross-validation against the unaccelerated bigmath oracle on a
+// small format with the full exponent range: every accelerated path must
+// agree bit-for-bit with the reference on every input.
+func TestResultMatchesReferenceExhaustive(t *testing.T) {
+	in := fp.MustFormat(12, 8)
+	out := in.Extend(2)
+	modes := []fp.Mode{fp.RoundNearestEven, fp.RoundToOdd, fp.RoundTowardPositive}
+	for _, fn := range bigmath.AllFuncs {
+		o := New(fn)
+		for b := uint64(0); b < in.NumValues(); b++ {
+			x := in.Decode(b)
+			for _, mode := range modes {
+				got := o.Result(x, out, mode)
+				want := bigmath.CorrectlyRounded(fn, x, out, mode)
+				if got != want {
+					t.Fatalf("%v(%g) [in bits %#x] mode %v: got %#x want %#x",
+						fn, x, b, mode, got, want)
+				}
+			}
+		}
+		s := o.Stats()
+		if s.Total() != in.NumValues()*uint64(len(modes)) {
+			t.Errorf("%v: stats total %d != queries %d", fn, s.Total(), in.NumValues()*uint64(len(modes)))
+		}
+	}
+}
+
+// Random cross-validation on the paper's actual formats.
+func TestResultMatchesReferenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	formats := []fp.Format{fp.Bfloat16, fp.TensorFloat32}
+	for _, fn := range bigmath.AllFuncs {
+		o := New(fn)
+		for _, in := range formats {
+			out := in.Extend(2)
+			for i := 0; i < 400; i++ {
+				b := uint64(rng.Int63()) & (in.NumValues() - 1)
+				x := in.Decode(b)
+				mode := fp.AllModes[rng.Intn(len(fp.AllModes))]
+				got := o.Result(x, out, mode)
+				want := bigmath.CorrectlyRounded(fn, x, out, mode)
+				if got != want {
+					t.Fatalf("%v(%g) %v mode %v: got %#x want %#x", fn, x, in, mode, got, want)
+				}
+			}
+		}
+	}
+}
+
+// The shortcut paths must actually fire on their target regions.
+func TestAccelerationPathsFire(t *testing.T) {
+	out := fp.MustFormat(27, 8)
+
+	o := New(bigmath.Exp)
+	o.Result(math.Ldexp(1, -40), out, fp.RoundToOdd) // anchor
+	o.Result(500, out, fp.RoundNearestEven)          // overflow clamp
+	o.Result(-500, out, fp.RoundNearestEven)         // underflow clamp
+	o.Result(0, out, fp.RoundNearestEven)            // exact
+	o.Result(math.Inf(1), out, fp.RoundNearestEven)  // special
+	o.Result(1.5, out, fp.RoundNearestEven)          // full eval
+	s := o.Stats()
+	if s.Anchors != 1 || s.Clamps != 2 || s.Exacts != 1 || s.Specials != 1 || s.FullEvals != 1 {
+		t.Errorf("exp stats: %+v", s)
+	}
+
+	ol := New(bigmath.Ln)
+	ol.Result(1.5, out, fp.RoundToOdd)
+	ol.Result(3.0, out, fp.RoundToOdd) // same mantissa as 1.5: cache hit
+	if s := ol.Stats(); s.Shared != 2 || len(ol.logCache) != 1 {
+		t.Errorf("ln stats: %+v cache=%d", s, len(ol.logCache))
+	}
+
+	ot := New(bigmath.SinPi)
+	ot.Result(0.3125, out, fp.RoundToOdd)
+	ot.Result(2.3125, out, fp.RoundToOdd)  // binary-exact: reduces to same z
+	ot.Result(-0.3125, out, fp.RoundToOdd) // odd symmetry, same cache entry
+	if s := ot.Stats(); s.Shared != 3 || len(ot.trigCache) != 1 {
+		t.Errorf("sinpi stats: %+v cache=%d", s, len(ot.trigCache))
+	}
+}
+
+// Anchor shortcut edge: results adjacent to 1 must respect every mode,
+// including round-to-odd parity on both sides of 1.
+func TestJustAside(t *testing.T) {
+	out := fp.Bfloat16
+	one := out.FromFloat64(1, fp.RoundNearestEven)
+	up, down := out.NextUp(one), out.NextDown(one)
+
+	o := New(bigmath.Exp)
+	tiny := math.Ldexp(1, -30)
+	cases := []struct {
+		x    float64
+		mode fp.Mode
+		want uint64
+	}{
+		{tiny, fp.RoundNearestEven, one},
+		{tiny, fp.RoundTowardZero, one},
+		{tiny, fp.RoundTowardPositive, up},
+		{tiny, fp.RoundTowardNegative, one},
+		{tiny, fp.RoundToOdd, up}, // 1.0 even, next odd
+		{-tiny, fp.RoundNearestEven, one},
+		{-tiny, fp.RoundTowardZero, down},
+		{-tiny, fp.RoundTowardPositive, one},
+		{-tiny, fp.RoundTowardNegative, down},
+		{-tiny, fp.RoundToOdd, down}, // below 1: mantissa all ones, odd
+	}
+	for _, c := range cases {
+		if got := o.Result(c.x, out, c.mode); got != c.want {
+			t.Errorf("exp(%g) %v: got %#x want %#x", c.x, c.mode, got, c.want)
+		}
+		// Must agree with the reference too.
+		if want := bigmath.CorrectlyRounded(bigmath.Exp, c.x, out, c.mode); want != c.want {
+			t.Errorf("reference disagrees for exp(%g) %v: %#x vs %#x", c.x, c.mode, want, c.want)
+		}
+	}
+}
+
+// sinh's anchor is the input itself: exercise it near the subnormal floor
+// where the neighbour arithmetic touches zero.
+func TestSinhAnchorSubnormals(t *testing.T) {
+	out := fp.Bfloat16
+	x := out.MinSubnormalValue()
+	o := New(bigmath.Sinh)
+	for _, mode := range fp.AllModes {
+		got := o.Result(x, out, mode)
+		want := bigmath.CorrectlyRounded(bigmath.Sinh, x, out, mode)
+		if got != want {
+			t.Errorf("sinh(minSub) %v: got %#x want %#x", mode, got, want)
+		}
+	}
+	if o.Stats().Anchors == 0 {
+		t.Error("anchor path did not fire for sinh(minSub)")
+	}
+}
+
+func BenchmarkOracleResult(b *testing.B) {
+	out := fp.MustFormat(27, 8)
+	benches := []struct {
+		name string
+		fn   bigmath.Func
+		gen  func(*rand.Rand) float64
+	}{
+		{"ln-shared", bigmath.Ln, func(r *rand.Rand) float64 {
+			return math.Ldexp(1+r.Float64(), r.Intn(200)-100)
+		}},
+		{"exp-core", bigmath.Exp, func(r *rand.Rand) float64 { return r.Float64()*170 - 85 }},
+		{"sinpi-shared", bigmath.SinPi, func(r *rand.Rand) float64 { return r.Float64() * 4 }},
+	}
+	for _, bench := range benches {
+		b.Run(bench.name, func(b *testing.B) {
+			o := New(bench.fn)
+			rng := rand.New(rand.NewSource(31))
+			for i := 0; i < b.N; i++ {
+				o.Result(bench.gen(rng), out, fp.RoundToOdd)
+			}
+		})
+	}
+}

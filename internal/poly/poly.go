@@ -1,0 +1,156 @@
+// Package poly provides polynomial representations and Horner evaluation
+// for the RLIBM-Prog pipeline. A progressive polynomial is an ordinary
+// coefficient vector C1..Ck with the property (arranged by the generator)
+// that evaluating only the first k' < k terms already produces correctly
+// rounded results for lower-precision representations.
+package poly
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Structure describes the monomial layout of a polynomial: coefficient j
+// (0-based) multiplies x^(Offset + Stride·j). Dense polynomials are
+// {0, 1}; even polynomials (cosh-like, cosπ-like) are {0, 2}; odd
+// polynomials (sinh-like, sinπ-like) are {1, 2}. This is how RLIBM-Prog
+// reaches degree 5 with only 3 terms.
+type Structure struct {
+	Offset, Stride int
+}
+
+// Dense is the ordinary C1 + C2·x + … layout.
+var Dense = Structure{Offset: 0, Stride: 1}
+
+// Even is the C1 + C2·x² + C3·x⁴ + … layout.
+var Even = Structure{Offset: 0, Stride: 2}
+
+// Odd is the C1·x + C2·x³ + C3·x⁵ + … layout.
+var Odd = Structure{Offset: 1, Stride: 2}
+
+// Degree returns the polynomial degree of a structure with terms
+// coefficients (0 terms means degree -1 by convention, reported as 0).
+func (s Structure) Degree(terms int) int {
+	if terms <= 0 {
+		return 0
+	}
+	return s.Offset + s.Stride*(terms-1)
+}
+
+// Exponent returns the exponent of coefficient j.
+func (s Structure) Exponent(j int) int { return s.Offset + s.Stride*j }
+
+// Eval evaluates the structured polynomial with the first terms
+// coefficients at x, via Horner on x^Stride — the production evaluation
+// (odd/even structures save multiplies exactly as in the paper's
+// implementations).
+func (s Structure) Eval(coeffs []float64, terms int, x float64) float64 {
+	u := x
+	if s.Stride == 2 {
+		u = x * x
+	}
+	v := HornerTerms(coeffs, terms, u)
+	if s.Offset == 1 {
+		v = x * v
+	}
+	return v
+}
+
+// Horner evaluates C1 + C2·x + … + Ck·x^(k-1) by Horner's rule in float64,
+// exactly as the production math library does.
+func Horner(coeffs []float64, x float64) float64 {
+	if len(coeffs) == 0 {
+		return 0
+	}
+	s := coeffs[len(coeffs)-1]
+	for i := len(coeffs) - 2; i >= 0; i-- {
+		s = s*x + coeffs[i]
+	}
+	return s
+}
+
+// HornerTerms evaluates only the first terms coefficients — the progressive
+// evaluation used for lower-precision representations.
+func HornerTerms(coeffs []float64, terms int, x float64) float64 {
+	if terms > len(coeffs) {
+		terms = len(coeffs)
+	}
+	return Horner(coeffs[:terms], x)
+}
+
+// Piece is one sub-domain of a piecewise polynomial over reduced inputs.
+type Piece struct {
+	// Lo and Hi bound the reduced inputs covered by this piece: Lo ≤ x < Hi
+	// (the last piece is closed above by construction).
+	Lo, Hi float64
+	Coeffs []float64
+}
+
+// Piecewise is a polynomial split into consecutive sub-domains, evaluated
+// by scanning the (always tiny: ≤ 4 in RLIBM-Prog) piece list.
+type Piecewise struct {
+	Pieces []Piece
+}
+
+// Find returns the piece covering the reduced input x (the last piece
+// catches x == Hi of the domain).
+func (pw *Piecewise) Find(x float64) *Piece {
+	for i := range pw.Pieces[:len(pw.Pieces)-1] {
+		if x < pw.Pieces[i].Hi {
+			return &pw.Pieces[i]
+		}
+	}
+	return &pw.Pieces[len(pw.Pieces)-1]
+}
+
+// Eval evaluates the piecewise polynomial with the first terms coefficients
+// (0 or over-length means all).
+func (pw *Piecewise) Eval(x float64, terms int) float64 {
+	p := pw.Find(x)
+	if terms <= 0 || terms > len(p.Coeffs) {
+		terms = len(p.Coeffs)
+	}
+	return HornerTerms(p.Coeffs, terms, x)
+}
+
+// MaxDegree returns the highest polynomial degree across pieces.
+func (pw *Piecewise) MaxDegree() int {
+	d := 0
+	for _, p := range pw.Pieces {
+		if len(p.Coeffs)-1 > d {
+			d = len(p.Coeffs) - 1
+		}
+	}
+	return d
+}
+
+// CoefficientBytes returns the lookup-table storage the polynomial needs:
+// 8 bytes per double coefficient, the paper's Table 1 "Poly. mem. use"
+// metric.
+func (pw *Piecewise) CoefficientBytes() int {
+	n := 0
+	for _, p := range pw.Pieces {
+		n += 8 * len(p.Coeffs)
+	}
+	return n
+}
+
+// String renders the polynomial for logs and generated-code comments.
+func (pw *Piecewise) String() string {
+	var b strings.Builder
+	for i, p := range pw.Pieces {
+		if len(pw.Pieces) > 1 {
+			fmt.Fprintf(&b, "piece %d [%g, %g): ", i, p.Lo, p.Hi)
+		}
+		for j, c := range p.Coeffs {
+			if j > 0 {
+				b.WriteString(" + ")
+			}
+			fmt.Fprintf(&b, "%.17g*x^%d", c, j)
+		}
+		if i < len(pw.Pieces)-1 {
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package poly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func naive(coeffs []float64, x float64) float64 {
+	s := 0.0
+	for j := len(coeffs) - 1; j >= 0; j-- {
+		s += coeffs[j] * math.Pow(x, float64(j))
+	}
+	return s
+}
+
+func TestHornerMatchesNaive(t *testing.T) {
+	err := quick.Check(func(cs []float64, x float64) bool {
+		if len(cs) > 10 {
+			cs = cs[:10]
+		}
+		for _, c := range cs {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return true
+			}
+		}
+		if math.IsNaN(x) || math.Abs(x) > 2 {
+			return true
+		}
+		h := Horner(cs, x)
+		n := naive(cs, x)
+		if h == n {
+			return true
+		}
+		return math.Abs(h-n) <= 1e-9*(math.Abs(h)+math.Abs(n)+1)
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHornerEdge(t *testing.T) {
+	if Horner(nil, 3) != 0 {
+		t.Error("empty polynomial should evaluate to 0")
+	}
+	if Horner([]float64{5}, 100) != 5 {
+		t.Error("constant polynomial")
+	}
+}
+
+func TestHornerTerms(t *testing.T) {
+	cs := []float64{1, 2, 3, 4}
+	x := 0.5
+	if got, want := HornerTerms(cs, 2, x), 1+2*x; got != want {
+		t.Errorf("2 terms: %v want %v", got, want)
+	}
+	if got, want := HornerTerms(cs, 99, x), Horner(cs, x); got != want {
+		t.Errorf("over-length terms: %v want %v", got, want)
+	}
+}
+
+func TestPiecewise(t *testing.T) {
+	pw := Piecewise{Pieces: []Piece{
+		{Lo: 0, Hi: 0.5, Coeffs: []float64{1, 1}},
+		{Lo: 0.5, Hi: 1, Coeffs: []float64{2, 0, 1}},
+	}}
+	if p := pw.Find(0.25); p != &pw.Pieces[0] {
+		t.Error("find 0.25")
+	}
+	if p := pw.Find(0.75); p != &pw.Pieces[1] {
+		t.Error("find 0.75")
+	}
+	if p := pw.Find(1.0); p != &pw.Pieces[1] {
+		t.Error("find at upper edge must hit last piece")
+	}
+	if got := pw.Eval(0.25, 0); got != 1.25 {
+		t.Errorf("eval: %v", got)
+	}
+	if got := pw.Eval(0.75, 1); got != 2 {
+		t.Errorf("eval 1 term: %v", got)
+	}
+	if pw.MaxDegree() != 2 {
+		t.Errorf("max degree: %d", pw.MaxDegree())
+	}
+	if pw.CoefficientBytes() != 8*5 {
+		t.Errorf("bytes: %d", pw.CoefficientBytes())
+	}
+	if pw.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func BenchmarkHorner7(b *testing.B) {
+	cs := []float64{1, 0.69, 0.24, 0.055, 0.0096, 0.0013, 0.00015}
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = rng.Float64() / 64
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Horner(cs, xs[i&1023])
+	}
+	_ = sink
+}
+
+func TestStructureEval(t *testing.T) {
+	cs := []float64{2, 3, 5}
+	x := 0.5
+	if got, want := Dense.Eval(cs, 3, x), 2+3*x+5*x*x; math.Abs(got-want) > 1e-15 {
+		t.Errorf("dense: %v want %v", got, want)
+	}
+	if got, want := Even.Eval(cs, 3, x), 2+3*x*x+5*x*x*x*x; math.Abs(got-want) > 1e-15 {
+		t.Errorf("even: %v want %v", got, want)
+	}
+	if got, want := Odd.Eval(cs, 3, x), x*(2+3*x*x+5*x*x*x*x); math.Abs(got-want) > 1e-15 {
+		t.Errorf("odd: %v want %v", got, want)
+	}
+	if Odd.Eval(cs, 0, x) != 0 {
+		t.Error("zero terms must evaluate to 0")
+	}
+	if Dense.Degree(3) != 2 || Even.Degree(3) != 4 || Odd.Degree(3) != 5 {
+		t.Error("degrees")
+	}
+	if Odd.Exponent(2) != 5 || Even.Exponent(0) != 0 {
+		t.Error("exponents")
+	}
+	if Dense.Degree(0) != 0 {
+		t.Error("degree of empty polynomial")
+	}
+}
+
+// Structured evaluation agrees with explicit monomial summation on random
+// inputs (testing/quick).
+func TestStructureEvalQuick(t *testing.T) {
+	structs := []Structure{Dense, Even, Odd}
+	err := quick.Check(func(raw []float64, xi int, si uint8) bool {
+		st := structs[int(si)%3]
+		if len(raw) > 6 {
+			raw = raw[:6]
+		}
+		for _, c := range raw {
+			if math.IsNaN(c) || math.Abs(c) > 1e6 {
+				return true
+			}
+		}
+		x := float64(xi%1000) / 4000
+		want := 0.0
+		for j, c := range raw {
+			want += c * math.Pow(x, float64(st.Exponent(j)))
+		}
+		got := st.Eval(raw, len(raw), x)
+		return math.Abs(got-want) <= 1e-9*(1+math.Abs(want))
+	}, &quick.Config{MaxCount: 3000})
+	if err != nil {
+		t.Error(err)
+	}
+}

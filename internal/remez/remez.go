@@ -1,0 +1,243 @@
+// Package remez implements the Remez exchange algorithm for minimax
+// polynomial approximation — the classical technique behind CR-LIBM's
+// polynomials (§2.2 of the paper: "A commonly used mini-max approximation
+// is the Remez algorithm").
+//
+// Its role in this repository is the paper's motivating comparison: the
+// RLibm approach approximates the *correctly rounded result* and therefore
+// gets away with lower-degree polynomials than a minimax approximation of
+// the *real value* needs for the same correctness target (§2.3: "this
+// amount of freedom ... is much larger than the one with the minimax
+// approach"). BenchmarkMinimaxDegree in the repository root quantifies
+// that on the real reduced domains.
+package remez
+
+import (
+	"errors"
+	"math"
+)
+
+// Result is a minimax approximation over [A, B] with equioscillating error
+// MaxErr. The coefficients live in the normalized basis t = (x-Mid)/Half ∈
+// [-1, 1] (which keeps the exchange system well conditioned on the tiny
+// reduced domains); use Eval to apply the polynomial to x.
+type Result struct {
+	Coeffs    []float64
+	MaxErr    float64
+	A, B      float64
+	Mid, Half float64
+	Iters     int
+}
+
+// Eval evaluates the approximation at x ∈ [A, B].
+func (r Result) Eval(x float64) float64 {
+	t := (x - r.Mid) / r.Half
+	p := 0.0
+	for j := len(r.Coeffs) - 1; j >= 0; j-- {
+		p = p*t + r.Coeffs[j]
+	}
+	return p
+}
+
+// ErrSingular reports a degenerate exchange system (typically degree too
+// high for the working precision).
+var ErrSingular = errors.New("remez: singular exchange system")
+
+// Approximate runs the Remez exchange for f over [a, b] with the given
+// polynomial degree. f must be smooth on [a, b]. The iteration stops when
+// the extremal errors agree to a relative 1e-9, or after 64 exchanges.
+// The float64 exchange arithmetic floors the achievable error around
+// 1e-10 of the function's scale — far below the rounding-interval widths
+// the comparison experiments ask about.
+func Approximate(f func(float64) float64, a, b float64, degree int) (Result, error) {
+	if degree < 0 || b <= a {
+		return Result{}, errors.New("remez: bad arguments")
+	}
+	n := degree + 2 // equioscillation points
+	mid, half := (a+b)/2, (b-a)/2
+	g := func(t float64) float64 { return f(mid + half*t) }
+
+	// Chebyshev-node initialization on the normalized domain.
+	pts := make([]float64, n)
+	for i := 0; i < n; i++ {
+		pts[i] = math.Cos(math.Pi * float64(n-1-i) / float64(n-1))
+	}
+
+	var res Result
+	res.A, res.B = a, b
+	res.Mid, res.Half = mid, half
+	for iter := 0; iter < 64; iter++ {
+		res.Iters = iter + 1
+		coeffs, e, err := solveExchange(g, pts, degree)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Coeffs = coeffs
+
+		// Locate the extrema of the error on a dense grid and exchange.
+		newPts, maxAbs := extrema(g, coeffs, -1, 1, n)
+		res.MaxErr = maxAbs
+		if len(newPts) == n {
+			pts = newPts
+		}
+		// Convergence: leveled error.
+		if maxAbs <= math.Abs(e)*(1+1e-9)+1e-300 {
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// solveExchange solves the linear system P(x_i) + (-1)^i E = f(x_i) for the
+// degree+1 coefficients and the leveled error E.
+func solveExchange(f func(float64) float64, pts []float64, degree int) ([]float64, float64, error) {
+	n := len(pts)
+	m := make([][]float64, n)
+	rhs := make([]float64, n)
+	for i, x := range pts {
+		row := make([]float64, n)
+		p := 1.0
+		for j := 0; j <= degree; j++ {
+			row[j] = p
+			p *= x
+		}
+		if i%2 == 0 {
+			row[degree+1] = 1
+		} else {
+			row[degree+1] = -1
+		}
+		m[i] = row
+		rhs[i] = f(x)
+	}
+	sol, err := solveLinear(m, rhs)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sol[:degree+1], sol[degree+1], nil
+}
+
+// solveLinear is Gaussian elimination with partial pivoting.
+func solveLinear(m [][]float64, rhs []float64) ([]float64, error) {
+	n := len(m)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-300 {
+			return nil, ErrSingular
+		}
+		m[col], m[piv] = m[piv], m[col]
+		rhs[col], rhs[piv] = rhs[piv], rhs[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			fct := m[r][col] * inv
+			if fct == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				m[r][c] -= fct * m[col][c]
+			}
+			rhs[r] -= fct * rhs[col]
+		}
+	}
+	out := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := rhs[r]
+		for c := r + 1; c < n; c++ {
+			s -= m[r][c] * out[c]
+		}
+		out[r] = s / m[r][r]
+	}
+	return out, nil
+}
+
+// extrema scans the error function on a dense grid and returns up to n
+// alternating local extrema (including the endpoints), plus the maximum
+// absolute error seen.
+func extrema(f func(float64) float64, coeffs []float64, a, b float64, n int) ([]float64, float64) {
+	const grid = 4096
+	err := func(x float64) float64 {
+		p := 0.0
+		for j := len(coeffs) - 1; j >= 0; j-- {
+			p = p*x + coeffs[j]
+		}
+		return p - f(x)
+	}
+	type ext struct {
+		x, e float64
+	}
+	var exts []ext
+	prevX, prevE := a, err(a)
+	maxAbs := math.Abs(prevE)
+	exts = append(exts, ext{a, prevE})
+	rising := true
+	for i := 1; i <= grid; i++ {
+		x := a + (b-a)*float64(i)/grid
+		e := err(x)
+		if math.Abs(e) > maxAbs {
+			maxAbs = math.Abs(e)
+		}
+		// Track local extrema of the signed error.
+		if i > 1 {
+			if rising && e < prevE || !rising && e > prevE {
+				exts = append(exts, ext{prevX, prevE})
+				rising = !rising
+			}
+		} else {
+			rising = e >= prevE
+		}
+		prevX, prevE = x, e
+	}
+	exts = append(exts, ext{b, prevE})
+
+	// Keep the n extrema with alternating signs and largest magnitudes:
+	// greedy pass preserving alternation.
+	var picked []ext
+	for _, c := range exts {
+		if len(picked) == 0 {
+			picked = append(picked, c)
+			continue
+		}
+		last := &picked[len(picked)-1]
+		if (last.e >= 0) == (c.e >= 0) {
+			if math.Abs(c.e) > math.Abs(last.e) {
+				*last = c
+			}
+		} else {
+			picked = append(picked, c)
+		}
+	}
+	// Trim to the n largest consecutive alternating points.
+	for len(picked) > n {
+		// Drop the smaller of the two ends.
+		if math.Abs(picked[0].e) < math.Abs(picked[len(picked)-1].e) {
+			picked = picked[1:]
+		} else {
+			picked = picked[:len(picked)-1]
+		}
+	}
+	if len(picked) != n {
+		return nil, maxAbs
+	}
+	out := make([]float64, n)
+	for i, c := range picked {
+		out[i] = c.x
+	}
+	return out, maxAbs
+}
+
+// DegreeFor returns the smallest degree ≤ maxDegree whose minimax error is
+// below target, or maxDegree+1 when none reaches it.
+func DegreeFor(f func(float64) float64, a, b float64, target float64, maxDegree int) int {
+	for d := 0; d <= maxDegree; d++ {
+		r, err := Approximate(f, a, b, d)
+		if err == nil && r.MaxErr <= target {
+			return d
+		}
+	}
+	return maxDegree + 1
+}

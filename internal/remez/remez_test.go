@@ -1,0 +1,108 @@
+package remez
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConstantAndLinear(t *testing.T) {
+	// Minimax degree-0 fit of x over [0,1] is 1/2 with error 1/2.
+	r, err := Approximate(func(x float64) float64 { return x }, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Coeffs[0]-0.5) > 1e-9 || math.Abs(r.MaxErr-0.5) > 1e-9 {
+		t.Errorf("degree-0 fit of x: %+v", r)
+	}
+	// Degree-1 fit of x is exact.
+	r, err = Approximate(func(x float64) float64 { return 3*x - 1 }, -1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxErr > 1e-12 || math.Abs(r.Eval(1.5)-3.5) > 1e-9 {
+		t.Errorf("linear fit: %+v", r)
+	}
+}
+
+// The classical benchmark: minimax linear fit of e^x on [0,1] has error
+// (e-1)/2 - 1/2·(1 + ln((e-1)/1))·… — check against the known value
+// ≈ 0.105933. (Cheney, Introduction to Approximation Theory.)
+func TestExpLinearKnownError(t *testing.T) {
+	r, err := Approximate(math.Exp, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = 0.105933
+	if math.Abs(r.MaxErr-want) > 2e-4 {
+		t.Errorf("minimax error %.6f, want ≈ %.6f", r.MaxErr, want)
+	}
+}
+
+// Error must decrease geometrically with degree until the exchange's
+// float64 noise floor (~1e-10 relative to the function scale); the
+// generation experiments only need thresholds around 1e-5..1e-7.
+func TestErrorDecreasesWithDegree(t *testing.T) {
+	f := func(x float64) float64 { return math.Log2(1 + x) }
+	prev := math.Inf(1)
+	for d := 0; d <= 3; d++ {
+		r, err := Approximate(f, 0, 1.0/128, d)
+		if err != nil {
+			t.Fatalf("degree %d: %v", d, err)
+		}
+		if r.MaxErr >= prev/4 {
+			t.Errorf("degree %d error %.3g did not improve enough on %.3g", d, r.MaxErr, prev)
+		}
+		prev = r.MaxErr
+	}
+	if prev > 1e-10 {
+		t.Errorf("degree-3 error on the log2 reduced domain is %.3g", prev)
+	}
+}
+
+// Equioscillation property: the achieved error alternates and its extremal
+// magnitudes are close to level.
+func TestEquioscillation(t *testing.T) {
+	f := math.Sin
+	r, err := Approximate(f, 0, 1.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalErr := func(x float64) float64 { return r.Eval(x) - f(x) }
+	// Scan for extrema magnitudes.
+	const grid = 20000
+	maxAbs := 0.0
+	for i := 0; i <= grid; i++ {
+		x := 0 + 1.5*float64(i)/grid
+		if a := math.Abs(evalErr(x)); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if math.Abs(maxAbs-r.MaxErr)/r.MaxErr > 0.01 {
+		t.Errorf("reported MaxErr %.3g vs scanned %.3g", r.MaxErr, maxAbs)
+	}
+	// Endpoints of an equioscillating fit carry near-extremal error.
+	if math.Abs(evalErr(0)) < 0.5*r.MaxErr || math.Abs(evalErr(1.5)) < 0.5*r.MaxErr {
+		t.Errorf("endpoint errors not extremal: %g %g (level %g)",
+			evalErr(0), evalErr(1.5), r.MaxErr)
+	}
+}
+
+func TestDegreeFor(t *testing.T) {
+	f := func(x float64) float64 { return math.Exp(x) }
+	d := DegreeFor(f, -0.006, 0.006, 1e-12, 8)
+	if d < 2 || d > 5 {
+		t.Errorf("degree for exp on the reduced domain: %d", d)
+	}
+	if DegreeFor(f, 0, 1, 1e-300, 3) != 4 {
+		t.Error("unreachable target should report maxDegree+1")
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	if _, err := Approximate(math.Exp, 1, 0, 2); err == nil {
+		t.Error("inverted interval accepted")
+	}
+	if _, err := Approximate(math.Exp, 0, 1, -1); err == nil {
+		t.Error("negative degree accepted")
+	}
+}

@@ -1,0 +1,69 @@
+// Package sampling implements weighted random sampling without replacement
+// using the Efraimidis–Spirakis one-pass scheme [13 in the paper]: item i
+// with weight w_i draws u_i ~ U(0,1) and key_i = u_i^(1/w_i); the n items
+// with the largest keys form a sample distributed according to the weights.
+// RLIBM-Prog uses it to materialize Clarkson's constraint multi-set as
+// weights instead of duplicated constraints.
+package sampling
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+)
+
+// keyHeap is a min-heap of (key, index) pairs capped at the sample size.
+type keyHeap struct {
+	keys []float64
+	idx  []int
+}
+
+func (h *keyHeap) Len() int           { return len(h.keys) }
+func (h *keyHeap) Less(i, j int) bool { return h.keys[i] < h.keys[j] }
+func (h *keyHeap) Swap(i, j int) {
+	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
+	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
+}
+func (h *keyHeap) Push(x interface{}) { panic("unused") }
+func (h *keyHeap) Pop() interface{}   { panic("unused") }
+
+// Weighted selects min(n, len(weights)) distinct indices with probability
+// proportional to their weights. Items with non-positive weight are never
+// selected. The log-domain key ln(u)/w (monotone in u^(1/w)) avoids
+// underflow when weights grow by doubling, as they do in the Clarkson
+// solver.
+func Weighted(weights []float64, n int, rng *rand.Rand) []int {
+	if n <= 0 {
+		return nil
+	}
+	h := &keyHeap{
+		keys: make([]float64, 0, n),
+		idx:  make([]int, 0, n),
+	}
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		// key = ln(u)/w ∈ (-∞, 0): larger is better, matching u^(1/w).
+		key := math.Log(rng.Float64()) / w
+		if len(h.keys) < n {
+			h.keys = append(h.keys, key)
+			h.idx = append(h.idx, i)
+			if len(h.keys) == n {
+				heap.Init(h)
+			}
+			continue
+		}
+		if key > h.keys[0] {
+			h.keys[0] = key
+			h.idx[0] = i
+			heap.Fix(h, 0)
+		}
+	}
+	if len(h.keys) < n && len(h.keys) > 0 {
+		heap.Init(h)
+	}
+	out := make([]int, len(h.idx))
+	copy(out, h.idx)
+	return out
+}

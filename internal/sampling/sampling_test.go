@@ -1,0 +1,120 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSelectsAllWhenSampleCoversSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := []float64{1, 2, 3, 4}
+	got := Weighted(w, 10, rng)
+	if len(got) != 4 {
+		t.Fatalf("selected %d items, want 4", len(got))
+	}
+	seen := map[int]bool{}
+	for _, i := range got {
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestZeroWeightNeverSelected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w := []float64{1, 0, 1, -3, 1}
+	for trial := 0; trial < 200; trial++ {
+		for _, i := range Weighted(w, 3, rng) {
+			if i == 1 || i == 3 {
+				t.Fatalf("selected non-positive-weight index %d", i)
+			}
+		}
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if got := Weighted(nil, 5, rng); len(got) != 0 {
+		t.Errorf("nil weights: %v", got)
+	}
+	if got := Weighted([]float64{1, 2}, 0, rng); got != nil {
+		t.Errorf("n=0: %v", got)
+	}
+	if got := Weighted([]float64{0, 0}, 2, rng); len(got) != 0 {
+		t.Errorf("all-zero weights: %v", got)
+	}
+}
+
+// Single-item samples must follow the weight distribution: P(i) = w_i/Σw.
+func TestDistributionSingleDraw(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	w := []float64{1, 2, 4, 8}
+	counts := make([]int, len(w))
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		got := Weighted(w, 1, rng)
+		counts[got[0]]++
+	}
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	for i, c := range counts {
+		want := float64(trials) * w[i] / total
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("index %d: count %d, want ≈%.0f", i, c, want)
+		}
+	}
+}
+
+// Pairwise inclusion for n=2 from 3 items is also weight-monotone: heavier
+// items appear more often.
+func TestInclusionMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	w := []float64{1, 3, 9}
+	counts := make([]int, len(w))
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		for _, j := range Weighted(w, 2, rng) {
+			counts[j]++
+		}
+	}
+	if !(counts[0] < counts[1] && counts[1] < counts[2]) {
+		t.Errorf("inclusion counts not monotone in weight: %v", counts)
+	}
+}
+
+// Huge weights from repeated doubling must not overflow the keys.
+func TestHugeWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	w := make([]float64, 100)
+	for i := range w {
+		w[i] = 1
+	}
+	w[17] = math.Ldexp(1, 500)
+	hits := 0
+	for trial := 0; trial < 200; trial++ {
+		for _, i := range Weighted(w, 1, rng) {
+			if i == 17 {
+				hits++
+			}
+		}
+	}
+	if hits < 195 {
+		t.Errorf("dominant weight selected only %d/200 times", hits)
+	}
+}
+
+func BenchmarkWeighted(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	w := make([]float64, 1<<20)
+	for i := range w {
+		w[i] = 1 + rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Weighted(w, 384, rng)
+	}
+}

@@ -1,0 +1,192 @@
+// Package verify checks generated implementations (and comparator
+// libraries) for correct rounding by exhaustive enumeration, reproducing
+// the methodology behind Table 2 of the paper.
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/fp"
+	"repro/internal/gen"
+	"repro/internal/oracle"
+)
+
+// Impl is any math-library implementation of one elementary function that
+// can answer "f(x) rounded into out under mode" — the generated library,
+// the RLibm-All baseline, and the double-precision comparators all satisfy
+// it.
+type Impl interface {
+	// Bits returns the result bit pattern of f(x) in out under mode; x is
+	// always a value of out... of the queried input format.
+	Bits(x float64, out fp.Format, mode fp.Mode) uint64
+}
+
+// Report summarizes one exhaustive check.
+type Report struct {
+	Format     fp.Format
+	Mode       fp.Mode
+	Checked    uint64
+	Mismatches []uint64 // input bit patterns (capped)
+}
+
+// Correct reports whether no mismatches were found.
+func (r Report) Correct() bool { return len(r.Mismatches) == 0 }
+
+func (r Report) String() string {
+	status := "correct"
+	if !r.Correct() {
+		status = fmt.Sprintf("%d WRONG", len(r.Mismatches))
+	}
+	return fmt.Sprintf("%v %v: %d inputs, %s", r.Format, r.Mode, r.Checked, status)
+}
+
+// maxRecorded caps the mismatch list so broken implementations don't
+// accumulate gigabytes.
+const maxRecorded = 1 << 16
+
+// Exhaustive checks impl against the oracle over every input of format f
+// under mode. The oracle derives every standard mode from one round-to-odd
+// result at f+2 bits (the RLibm-All theorem, property-tested in fp), so a
+// multi-mode sweep costs a single oracle pass.
+func Exhaustive(impl Impl, orc *oracle.Oracle, f fp.Format, modes []fp.Mode) []Report {
+	ext := f.Extend(2)
+	reports := make([]Report, len(modes))
+	for i, m := range modes {
+		reports[i] = Report{Format: f, Mode: m}
+	}
+	for b := uint64(0); b < f.NumValues(); b++ {
+		x := f.Decode(b)
+		roVal := ext.Decode(orc.Result(x, ext, fp.RoundToOdd))
+		for i, m := range modes {
+			want := f.FromFloat64(roVal, m)
+			got := impl.Bits(x, f, m)
+			reports[i].Checked++
+			if got != want && len(reports[i].Mismatches) < maxRecorded {
+				reports[i].Mismatches = append(reports[i].Mismatches, b)
+			}
+		}
+	}
+	return reports
+}
+
+// Sampled checks impl against the oracle on n random inputs of format f
+// plus a structured corpus (specials, boundaries, values near 1), under
+// each mode. Used where exhaustive enumeration is too slow (the largest
+// format in quick runs).
+func Sampled(impl Impl, orc *oracle.Oracle, f fp.Format, modes []fp.Mode, n int, seed int64) []Report {
+	ext := f.Extend(2)
+	reports := make([]Report, len(modes))
+	for i, m := range modes {
+		reports[i] = Report{Format: f, Mode: m}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	corpus := []uint64{
+		f.Zero(false), f.Zero(true), f.Inf(false), f.Inf(true), f.NaN(),
+		f.MinSubnormal(), f.MaxFinite(), f.FromFloat64(1, fp.RoundNearestEven),
+		f.FromFloat64(-1, fp.RoundNearestEven), f.NextUp(f.FromFloat64(1, fp.RoundNearestEven)),
+		f.NextDown(f.FromFloat64(1, fp.RoundNearestEven)),
+	}
+	check := func(b uint64) {
+		x := f.Decode(b)
+		roVal := ext.Decode(orc.Result(x, ext, fp.RoundToOdd))
+		for i, m := range modes {
+			want := f.FromFloat64(roVal, m)
+			got := impl.Bits(x, f, m)
+			reports[i].Checked++
+			if got != want && len(reports[i].Mismatches) < maxRecorded {
+				reports[i].Mismatches = append(reports[i].Mismatches, b)
+			}
+		}
+	}
+	for _, b := range corpus {
+		check(b)
+	}
+	for i := 0; i < n; i++ {
+		check(uint64(rng.Int63()) & (f.NumValues() - 1))
+	}
+	return reports
+}
+
+// genImpl adapts a generated Result to Impl, serving each query from the
+// level that owns the queried format.
+type genImpl struct {
+	res *gen.Result
+}
+
+// NewGenImpl wraps a generated result as an Impl.
+func NewGenImpl(res *gen.Result) Impl { return genImpl{res: res} }
+
+func (g genImpl) Bits(x float64, out fp.Format, mode fp.Mode) uint64 {
+	li, ok := g.res.ServingLevel(out, mode)
+	if !ok {
+		li = len(g.res.Levels) - 1
+	}
+	return g.res.Eval(x, li, out, mode)
+}
+
+// RepairBudget bounds how many mismatched inputs Repair may patch per
+// level before declaring the implementation broken.
+const RepairBudget = 64
+
+// Repair exhaustively verifies each level of a generated result and
+// patches mismatching inputs into the level's special-input table (with
+// the all-modes round-to-odd proxy). The smaller levels are verified under
+// round-to-nearest (the paper's progressive guarantee); the largest level
+// under all five standard modes. It returns the number of patches applied
+// and an error when a level exceeds the budget — which indicates a
+// generation bug rather than the handful of expected stragglers.
+func Repair(res *gen.Result, orc *oracle.Oracle) (int, error) {
+	patched := 0
+	for li, lvl := range res.Levels {
+		modes := []fp.Mode{fp.RoundNearestEven}
+		if li == len(res.Levels)-1 || res.ProgressiveRO {
+			modes = fp.StandardModes
+		}
+		ext := lvl.Extend(2)
+		for pass := 0; pass < 2; pass++ {
+			total := 0
+			for _, rep := range ExhaustiveLevel(res, orc, li, modes) {
+				total += len(rep.Mismatches)
+				for _, b := range rep.Mismatches {
+					x := lvl.Decode(b)
+					proxy := ext.Decode(orc.Result(x, ext, fp.RoundToOdd))
+					res.AddSpecial(li, x, proxy)
+					patched++
+				}
+			}
+			if total == 0 {
+				break
+			}
+			if total > RepairBudget {
+				return patched, fmt.Errorf("verify: level %v has %d mismatches (budget %d)",
+					lvl, total, RepairBudget)
+			}
+		}
+	}
+	return patched, nil
+}
+
+// ExhaustiveLevel verifies one level of a generated result: every input of
+// the level's format, evaluated with that level's term counts.
+func ExhaustiveLevel(res *gen.Result, orc *oracle.Oracle, li int, modes []fp.Mode) []Report {
+	lvl := res.Levels[li]
+	ext := lvl.Extend(2)
+	reports := make([]Report, len(modes))
+	for i, m := range modes {
+		reports[i] = Report{Format: lvl, Mode: m}
+	}
+	for b := uint64(0); b < lvl.NumValues(); b++ {
+		x := lvl.Decode(b)
+		roVal := ext.Decode(orc.Result(x, ext, fp.RoundToOdd))
+		for i, m := range modes {
+			want := lvl.FromFloat64(roVal, m)
+			got := res.Eval(x, li, lvl, m)
+			reports[i].Checked++
+			if got != want && len(reports[i].Mismatches) < maxRecorded {
+				reports[i].Mismatches = append(reports[i].Mismatches, b)
+			}
+		}
+	}
+	return reports
+}

@@ -1,0 +1,138 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bigmath"
+	"repro/internal/fp"
+	"repro/internal/gen"
+	"repro/internal/oracle"
+)
+
+func smallResult(t *testing.T, fn bigmath.Func) *gen.Result {
+	t.Helper()
+	res, err := gen.Generate(fn, gen.Options{
+		Levels: []fp.Format{fp.MustFormat(11, 8), fp.MustFormat(13, 8)},
+		Seed:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestExhaustiveCleanImplementation(t *testing.T) {
+	fn := bigmath.Log10
+	res := smallResult(t, fn)
+	orc := oracle.New(fn)
+	if _, err := Repair(res, orc); err != nil {
+		t.Fatal(err)
+	}
+	impl := NewGenImpl(res)
+	for _, f := range []fp.Format{fp.MustFormat(11, 8), fp.MustFormat(13, 8)} {
+		var modes []fp.Mode
+		if f.Bits() == 13 {
+			modes = fp.StandardModes
+		} else {
+			modes = []fp.Mode{fp.RoundNearestEven}
+		}
+		for _, rep := range Exhaustive(impl, orc, f, modes) {
+			if !rep.Correct() {
+				t.Errorf("%v", rep)
+			}
+			if rep.Checked != f.NumValues() {
+				t.Errorf("checked %d of %d", rep.Checked, f.NumValues())
+			}
+		}
+	}
+}
+
+// A corrupted coefficient must be detected, and small corruptions must be
+// repairable into the special table.
+func TestDetectAndRepairCorruption(t *testing.T) {
+	fn := bigmath.Exp
+	res := smallResult(t, fn)
+	orc := oracle.New(fn)
+	if _, err := Repair(res, orc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Heavy corruption: scale the top coefficient. Exhaustive must light up.
+	k := &res.Kernels[0]
+	old := k.Pieces[0].Coeffs[0]
+	k.Pieces[0].Coeffs[0] = old * (1 + 1e-3)
+	impl := NewGenImpl(res)
+	bad := 0
+	for _, rep := range ExhaustiveLevel(res, orc, 1, []fp.Mode{fp.RoundNearestEven}) {
+		bad += len(rep.Mismatches)
+	}
+	if bad == 0 {
+		t.Fatal("corruption not detected")
+	}
+	if _, err := Repair(res, orc); err == nil {
+		t.Fatal("heavy corruption unexpectedly repairable within budget")
+	}
+	k.Pieces[0].Coeffs[0] = old
+	_ = impl
+
+	// Light corruption: drop one special entry (if any); Repair restores it.
+	for li := range res.Specials {
+		if len(res.Specials[li]) > 0 {
+			res.Specials[li] = res.Specials[li][1:]
+			break
+		}
+	}
+	if _, err := Repair(res, orc); err != nil {
+		t.Fatalf("light repair failed: %v", err)
+	}
+	for li := range res.Levels {
+		modes := []fp.Mode{fp.RoundNearestEven}
+		if li == 1 {
+			modes = fp.StandardModes
+		}
+		for _, rep := range ExhaustiveLevel(res, orc, li, modes) {
+			if !rep.Correct() {
+				t.Errorf("after repair: %v", rep)
+			}
+		}
+	}
+}
+
+func TestSampledFindsCorpusMismatch(t *testing.T) {
+	fn := bigmath.Sinh
+	res := smallResult(t, fn)
+	orc := oracle.New(fn)
+	if _, err := Repair(res, orc); err != nil {
+		t.Fatal(err)
+	}
+	impl := NewGenImpl(res)
+	f := fp.MustFormat(13, 8)
+	for _, rep := range Sampled(impl, orc, f, fp.StandardModes, 2000, 9) {
+		if !rep.Correct() {
+			t.Errorf("%v", rep)
+		}
+	}
+	// A broken impl (always +1) must fail immediately via the corpus.
+	brokenReports := Sampled(brokenImpl{}, orc, f, []fp.Mode{fp.RoundNearestEven}, 10, 9)
+	if brokenReports[0].Correct() {
+		t.Error("broken implementation passed sampling")
+	}
+}
+
+type brokenImpl struct{}
+
+func (brokenImpl) Bits(x float64, out fp.Format, mode fp.Mode) uint64 {
+	return out.FromFloat64(math.Abs(x)+1, mode)
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Format: fp.Bfloat16, Mode: fp.RoundNearestEven, Checked: 10}
+	if r.String() == "" || !r.Correct() {
+		t.Error("report formatting")
+	}
+	r.Mismatches = []uint64{1}
+	if r.Correct() {
+		t.Error("mismatch not reflected")
+	}
+}
