@@ -1,0 +1,28 @@
+# Developer entry points. `make check` is the tier-1 gate: vet, build,
+# and the full test suite under the race detector (the parallel pipeline
+# makes -race part of the contract, not an optional extra).
+
+GO ?= go
+
+.PHONY: check test race bench bench-parallel vet build
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Serial-vs-parallel scaling of the enumeration and verification pipelines.
+bench-parallel:
+	$(GO) test -bench 'Enumerate|VerifyExhaustive' -run '^$$' .

@@ -9,9 +9,12 @@ import (
 	"repro/internal/bigmath"
 	"repro/internal/clarkson"
 	"repro/internal/fp"
+	"repro/internal/gen"
 	"repro/internal/libm"
+	"repro/internal/oracle"
 	"repro/internal/poly"
 	"repro/internal/remez"
+	"repro/internal/verify"
 )
 
 // This file holds the testing.B harnesses behind the paper's evaluation:
@@ -223,6 +226,65 @@ func BenchmarkClarksonSampleAblation(b *testing.B) {
 
 func fmtSampleName(factor int) string {
 	return map[int]string{1: "1k2", 3: "3k2", 6: "6k2"}[factor]
+}
+
+// BenchmarkEnumerate times the constraint-enumeration hot path — decode,
+// oracle, rounding interval, inverse compensation, sort and merge — serial
+// versus the sharded worker pool. Each iteration uses a fresh oracle so the
+// parallel runs pay the same cache-miss profile as the serial ones; the
+// enumerated system is bit-identical across sub-benchmarks by construction
+// (see internal/parallel).
+func BenchmarkEnumerate(b *testing.B) {
+	levels := []fp.Format{fp.MustFormat(12, 8), fp.MustFormat(16, 8)}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel8", 8}} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				raw, rows, err := gen.Enumerate(bigmath.Exp2, gen.Options{
+					Levels:  levels,
+					Workers: bc.workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if raw == 0 || rows == 0 {
+					b.Fatal("empty constraint system")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerifyExhaustive times the exhaustive verification sweep of a
+// generated implementation over tensorfloat32 under round-to-nearest,
+// serial versus the sharded worker pool, with a fresh oracle per iteration
+// (verification cost is dominated by oracle evaluations on first touch).
+func BenchmarkVerifyExhaustive(b *testing.B) {
+	res, err := libm.Progressive(bigmath.Exp2)
+	if err != nil {
+		b.Skip("generated tables missing; run cmd/rlibm-gen -emit internal/libm")
+	}
+	impl := verify.NewGenImpl(res)
+	modes := []fp.Mode{fp.RoundNearestEven}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel8", 8}} {
+		bc := bc
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				orc := oracle.New(bigmath.Exp2)
+				for _, rep := range verify.Exhaustive(impl, orc, fp.TensorFloat32, modes, bc.workers) {
+					if rep.Checked != fp.TensorFloat32.NumValues() {
+						b.Fatalf("checked %d of %d", rep.Checked, fp.TensorFloat32.NumValues())
+					}
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkMinimaxDegree quantifies the paper's §2.3 motivation with two

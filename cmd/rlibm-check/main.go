@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/baseline"
@@ -35,6 +36,7 @@ func main() {
 		modes   = flag.String("modes", "rn,ra,rz,ru,rd", "comma-separated rounding modes")
 		samples = flag.Int("samples", 0, "sample count (0 = exhaustive)")
 		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", runtime.NumCPU(), "verification worker count (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -82,9 +84,9 @@ func main() {
 	orc := oracle.New(fn)
 	var reports []verify.Report
 	if *samples > 0 {
-		reports = verify.Sampled(impl, orc, f, ms, *samples, *seed)
+		reports = verify.Sampled(impl, orc, f, ms, *samples, *seed, *workers)
 	} else {
-		reports = verify.Exhaustive(impl, orc, f, ms)
+		reports = verify.Exhaustive(impl, orc, f, ms, *workers)
 	}
 	bad := false
 	for _, r := range reports {

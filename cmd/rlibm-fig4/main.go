@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -74,8 +75,12 @@ func timeIt(f func()) float64 {
 }
 
 func main() {
-	var seed = flag.Int64("seed", 1, "random seed")
+	var (
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", runtime.NumCPU(), "GOMAXPROCS pin for the timing runs (timing is serial; a fixed cap keeps runs comparable)")
+	)
 	flag.Parse()
+	runtime.GOMAXPROCS(*workers)
 
 	largest, ok := libm.LargestFormat()
 	if !ok {

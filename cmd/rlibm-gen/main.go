@@ -21,6 +21,7 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"repro/internal/bigmath"
@@ -58,6 +59,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "verbose progress")
 		noVerify = flag.Bool("skip-verify", false, "skip the exhaustive verification/repair pass")
 		progRO   = flag.Bool("progressive-ro", false, "generate lower levels against round-to-odd intervals (all-modes progressive guarantee; extension beyond the paper)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "worker count for enumeration, solving and verification (generated tables are identical for any value)")
 	)
 	flag.Parse()
 
@@ -81,7 +83,7 @@ func main() {
 	failed := false
 
 	for _, fn := range fns {
-		opt := gen.Options{Seed: *seed, Logf: logf}
+		opt := gen.Options{Seed: *seed, Logf: logf, Workers: *workers}
 		kind := "progressive"
 		if *baseline {
 			kind = "rlibm-all-baseline"
@@ -102,7 +104,7 @@ func main() {
 		}
 		patched := 0
 		if !*noVerify {
-			patched, err = verify.Repair(res, orc)
+			patched, err = verify.Repair(res, orc, *workers)
 			if err != nil {
 				log.Printf("%v: verification failed: %v", fn, err)
 				failed = true

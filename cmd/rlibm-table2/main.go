@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/baseline"
@@ -42,6 +43,7 @@ func main() {
 		exhaustive = flag.Bool("exhaustive", false, "enumerate the largest format exhaustively (slow)")
 		samples    = flag.Int("samples", 400000, "sample count per mode for the largest format")
 		seed       = flag.Int64("seed", 1, "random seed")
+		workers    = flag.Int("workers", runtime.NumCPU(), "verification worker count (results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -104,15 +106,15 @@ func main() {
 				fmt.Printf(" | %-18s", "missing")
 				continue
 			}
-			smallOK := allCorrect(verify.Exhaustive(impl, orc, fp.Bfloat16, []fp.Mode{fp.RoundNearestEven})) &&
-				allCorrect(verify.Exhaustive(impl, orc, fp.TensorFloat32, []fp.Mode{fp.RoundNearestEven}))
+			smallOK := allCorrect(verify.Exhaustive(impl, orc, fp.Bfloat16, []fp.Mode{fp.RoundNearestEven}, *workers)) &&
+				allCorrect(verify.Exhaustive(impl, orc, fp.TensorFloat32, []fp.Mode{fp.RoundNearestEven}, *workers))
 			var rnReports, allReports []verify.Report
 			if *exhaustive {
-				rnReports = verify.Exhaustive(impl, orc, largest, []fp.Mode{fp.RoundNearestEven})
-				allReports = verify.Exhaustive(impl, orc, largest, col.allModes)
+				rnReports = verify.Exhaustive(impl, orc, largest, []fp.Mode{fp.RoundNearestEven}, *workers)
+				allReports = verify.Exhaustive(impl, orc, largest, col.allModes, *workers)
 			} else {
-				rnReports = verify.Sampled(impl, orc, largest, []fp.Mode{fp.RoundNearestEven}, *samples, *seed)
-				allReports = verify.Sampled(impl, orc, largest, col.allModes, *samples, *seed+1)
+				rnReports = verify.Sampled(impl, orc, largest, []fp.Mode{fp.RoundNearestEven}, *samples, *seed, *workers)
+				allReports = verify.Sampled(impl, orc, largest, col.allModes, *samples, *seed+1, *workers)
 			}
 			fmt.Printf(" | %-4s %-4s %-8s", mark(smallOK, true),
 				mark(allCorrect(rnReports), true), mark(allCorrect(allReports), true))

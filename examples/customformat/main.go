@@ -34,7 +34,7 @@ func main() {
 		log.Fatal(err)
 	}
 	orc := oracle.New(fn)
-	patched, err := verify.Repair(res, orc)
+	patched, err := verify.Repair(res, orc, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func main() {
 	// Exhaustive verification: every input of the large format under all
 	// five modes, every input of the small format under rn.
 	for li, modes := range [][]fp.Mode{{fp.RoundNearestEven}, fp.StandardModes} {
-		for _, rep := range verify.ExhaustiveLevel(res, orc, li, modes) {
+		for _, rep := range verify.ExhaustiveLevel(res, orc, li, modes, 0) {
 			fmt.Printf("  %v\n", rep)
 			if !rep.Correct() {
 				log.Fatal("verification failed")

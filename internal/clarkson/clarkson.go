@@ -73,7 +73,12 @@ type Config struct {
 	// AcceptViolations (0 = 64). The caller treats a stalled attempt like
 	// an exhausted one and escalates term counts.
 	StallIters int
-	// Rng drives sampling; nil seeds a deterministic generator.
+	// Rng drives sampling; nil makes Solve build its own deterministic
+	// generator. *rand.Rand is not safe for concurrent use, so a non-nil
+	// Rng must be exclusive to one Solve call: concurrent solves (the
+	// per-piece loop in gen) each pass their own generator, seeded
+	// deterministically from the piece identity. Solve keeps no state
+	// between calls beyond the caller's Rng position.
 	Rng *rand.Rand
 }
 

@@ -18,6 +18,7 @@ import (
 	"repro/internal/fp"
 	"repro/internal/interval"
 	"repro/internal/oracle"
+	"repro/internal/parallel"
 	"repro/internal/reduction"
 )
 
@@ -56,10 +57,127 @@ type constraintSet struct {
 	rawCount int
 }
 
+// enumShard is the output of enumerating one contiguous bit-range of one
+// level: per-kernel raw constraints and evicted specials in ascending input
+// order. Concatenating shard outputs in shard order reproduces exactly what
+// the serial loop would have produced over the union of the ranges.
+type enumShard struct {
+	raw      [][]rawConstraint // per kernel
+	specials []uint64
+	count    int
+	rawCount int
+}
+
+// enumerateRange runs the per-input pipeline — decode, reduce, oracle,
+// rounding interval, inverse compensation / affine split — over the bit
+// patterns [rg.Lo, rg.Hi) of lvl. skip, when non-nil, is the level's
+// dedup-loser bitmap (see dedupSkipBitmaps); marked inputs are skipped
+// without touching the oracle. The shard owns all of its outputs; the only
+// shared mutable state it touches is the concurrency-safe oracle.
+func enumerateRange(scheme reduction.Scheme, orc *oracle.Oracle, lvl, outFmt fp.Format,
+	mode fp.Mode, skip []uint64, rg parallel.Range, nk int) enumShard {
+
+	sh := enumShard{raw: make([][]rawConstraint, nk)}
+	tp, twoPoly := scheme.(reduction.TwoPoly)
+	type kernelPair struct{ k0, k1 *big.Float }
+	var kernelCache map[float64]kernelPair
+	if twoPoly {
+		kernelCache = make(map[float64]kernelPair)
+	}
+	for b := rg.Lo; b < rg.Hi; b++ {
+		if skip != nil && skip[b>>6]&(1<<(b&63)) != 0 {
+			continue // reduction state owned by an earlier input
+		}
+		x := lvl.Decode(b)
+		ctx, regular := scheme.Reduce(x)
+		if !regular {
+			continue // structural special path, correct by construction
+		}
+		bits := orc.Result(x, outFmt, mode)
+		iv, usable := interval.Rounding(outFmt, bits, mode)
+		if !usable {
+			// Zero or infinite correctly rounded result: no interval to
+			// constrain (the sign of zero would be pinned), but the
+			// polynomial path's final rounding saturates/flushes these
+			// inputs correctly on its own. Skip the constraint; the
+			// post-generation verification repairs any input this
+			// optimism gets wrong.
+			continue
+		}
+		if !twoPoly {
+			yiv, ok := reduction.InvertMonotone(scheme, ctx, iv)
+			if !ok {
+				sh.specials = append(sh.specials, b)
+				continue
+			}
+			sh.raw[0] = append(sh.raw[0], rawConstraint{r: ctx.R, lo: yiv.Lo, hi: yiv.Hi, xbits: b})
+			sh.rawCount++
+			sh.count++
+			continue
+		}
+		// Two-kernel schemes: exact kernel values (cached by r) and the
+		// affine box split.
+		kp, haveK := kernelCache[ctx.R]
+		if !haveK {
+			kp.k0, kp.k1 = tp.Kernels(ctx.R, 160)
+			kernelCache[ctx.R] = kp
+		}
+		i0, i1, ok := reduction.SplitAffine(tp, ctx, kp.k0, kp.k1, iv)
+		if !ok {
+			sh.specials = append(sh.specials, b)
+			continue
+		}
+		for p, box := range [2]interval.Interval{i0, i1} {
+			if box.Lo == -math.MaxFloat64 && box.Hi == math.MaxFloat64 {
+				continue // unconstrained kernel at this input
+			}
+			sh.raw[p] = append(sh.raw[p], rawConstraint{r: ctx.R, lo: box.Lo, hi: box.Hi, xbits: b})
+		}
+		sh.rawCount += 2
+		sh.count++
+	}
+	return sh
+}
+
+// dedupSkipBitmaps replays the sinpi/cospi reduction-state dedup of the
+// serial enumerator as a cheap serial prepass (Reduce is a handful of
+// float64 operations; the oracle work it saves is what dominates): identical
+// reduction state implies identical function value and constraints for that
+// family, so only the first input claiming a state — in (level, bit) order,
+// with the seen-set carried across levels exactly like the serial loop's —
+// contributes. The returned per-level bitmaps mark the losers, letting the
+// sharded workers skip them with no cross-shard coordination and keeping the
+// parallel output bit-identical to the serial one.
+func dedupSkipBitmaps(scheme reduction.Scheme, levels []fp.Format) [][]uint64 {
+	seen := make(map[reduction.Ctx]struct{})
+	out := make([][]uint64, len(levels))
+	for li, lvl := range levels {
+		n := lvl.NumValues()
+		bm := make([]uint64, (n+63)/64)
+		for b := uint64(0); b < n; b++ {
+			ctx, regular := scheme.Reduce(lvl.Decode(b))
+			if !regular {
+				continue
+			}
+			if _, dup := seen[ctx]; dup {
+				bm[b>>6] |= 1 << (b & 63)
+				continue
+			}
+			seen[ctx] = struct{}{}
+		}
+		out[li] = bm
+	}
+	return out
+}
+
 // buildConstraints enumerates every finite input of every level and builds
-// the merged constraint system.
+// the merged constraint system. The enumeration is sharded over contiguous
+// bit-ranges and run on up to workers goroutines against the shared
+// concurrency-safe oracle; shard outputs are merged in deterministic shard
+// order, so the result is bit-identical to a serial run for every worker
+// count.
 func buildConstraints(fn bigmath.Func, scheme reduction.Scheme, orc *oracle.Oracle,
-	levels []fp.Format, progressiveRO bool, logf func(string, ...interface{})) (*constraintSet, error) {
+	levels []fp.Format, progressiveRO bool, workers int, logf func(string, ...interface{})) (*constraintSet, error) {
 
 	nk := scheme.NumPolys()
 	cs := &constraintSet{
@@ -73,16 +191,9 @@ func buildConstraints(fn bigmath.Func, scheme reduction.Scheme, orc *oracle.Orac
 		cs.specials[i] = make(map[uint64]struct{})
 	}
 
-	tp, twoPoly := scheme.(reduction.TwoPoly)
-	type kernelPair struct{ k0, k1 *big.Float }
-	var kernelCache map[float64]kernelPair
-	if twoPoly {
-		kernelCache = make(map[float64]kernelPair)
-	}
-	dedupByCtx := fn == bigmath.SinPi || fn == bigmath.CosPi
-	var seenCtx map[reduction.Ctx]struct{}
-	if dedupByCtx {
-		seenCtx = make(map[reduction.Ctx]struct{})
+	var skips [][]uint64
+	if fn == bigmath.SinPi || fn == bigmath.CosPi {
+		skips = dedupSkipBitmaps(scheme, levels)
 	}
 
 	for li, lvl := range levels {
@@ -93,66 +204,25 @@ func buildConstraints(fn bigmath.Func, scheme reduction.Scheme, orc *oracle.Orac
 			outFmt = lvl.Extend(2)
 			mode = fp.RoundToOdd
 		}
-		nvals := lvl.NumValues()
+		var skip []uint64
+		if skips != nil {
+			skip = skips[li]
+		}
+		shards := parallel.SplitRange(lvl.NumValues(), parallel.ShardCount(workers))
+		outs := make([]enumShard, len(shards))
+		parallel.ForEach(workers, len(shards), func(s int) {
+			outs[s] = enumerateRange(scheme, orc, lvl, outFmt, mode, skip, shards[s], nk)
+		})
 		count := 0
-		for b := uint64(0); b < nvals; b++ {
-			x := lvl.Decode(b)
-			ctx, regular := scheme.Reduce(x)
-			if !regular {
-				continue // structural special path, correct by construction
+		for _, sh := range outs { // deterministic shard order = ascending bits
+			for p := 0; p < nk; p++ {
+				cs.perKernel[p][li].raw = append(cs.perKernel[p][li].raw, sh.raw[p]...)
 			}
-			if dedupByCtx {
-				// Identical reduction state implies identical function value
-				// and constraints for the sinpi/cospi family.
-				if _, dup := seenCtx[ctx]; dup {
-					continue
-				}
-				seenCtx[ctx] = struct{}{}
-			}
-			bits := orc.Result(x, outFmt, mode)
-			iv, usable := interval.Rounding(outFmt, bits, mode)
-			if !usable {
-				// Zero or infinite correctly rounded result: no interval to
-				// constrain (the sign of zero would be pinned), but the
-				// polynomial path's final rounding saturates/flushes these
-				// inputs correctly on its own. Skip the constraint; the
-				// post-generation verification repairs any input this
-				// optimism gets wrong.
-				continue
-			}
-			if !twoPoly {
-				yiv, ok := reduction.InvertMonotone(scheme, ctx, iv)
-				if !ok {
-					cs.specials[li][b] = struct{}{}
-					continue
-				}
-				lc := &cs.perKernel[0][li]
-				lc.raw = append(lc.raw, rawConstraint{r: ctx.R, lo: yiv.Lo, hi: yiv.Hi, xbits: b})
-				cs.rawCount++
-				count++
-				continue
-			}
-			// Two-kernel schemes: exact kernel values (cached by r) and the
-			// affine box split.
-			kp, haveK := kernelCache[ctx.R]
-			if !haveK {
-				kp.k0, kp.k1 = tp.Kernels(ctx.R, 160)
-				kernelCache[ctx.R] = kp
-			}
-			i0, i1, ok := reduction.SplitAffine(tp, ctx, kp.k0, kp.k1, iv)
-			if !ok {
+			for _, b := range sh.specials {
 				cs.specials[li][b] = struct{}{}
-				continue
 			}
-			for p, box := range [2]interval.Interval{i0, i1} {
-				if box.Lo == -math.MaxFloat64 && box.Hi == math.MaxFloat64 {
-					continue // unconstrained kernel at this input
-				}
-				lc := &cs.perKernel[p][li]
-				lc.raw = append(lc.raw, rawConstraint{r: ctx.R, lo: box.Lo, hi: box.Hi, xbits: b})
-			}
-			cs.rawCount += 2
-			count++
+			cs.rawCount += sh.rawCount
+			count += sh.count
 		}
 		if logf != nil {
 			logf("  level %v: %d poly-path inputs, %d structural specials",
@@ -160,32 +230,39 @@ func buildConstraints(fn bigmath.Func, scheme reduction.Scheme, orc *oracle.Orac
 		}
 	}
 
-	// Sort and merge.
-	for p := 0; p < nk; p++ {
-		for li := range levels {
-			lc := &cs.perKernel[p][li]
-			sort.Slice(lc.raw, func(i, j int) bool { return lc.raw[i].r < lc.raw[j].r })
-			lc.merged = mergeRaw(lc.raw, func(xbits uint64) {
-				cs.specials[li][xbits] = struct{}{}
-			})
-			// Singleton rows covering at most two inputs (exact results such
-			// as 10^k for exp10) pin a coefficient combination to one double
-			// each and force the exact LP on every sample; a special-case
-			// table entry is cheaper in both generation time and runtime —
-			// this is where a share of the paper's "special case inputs"
-			// comes from. Rows shared by many inputs (e.g. exp2's r = 0,
-			// owned by every integer input) stay as equality constraints.
-			kept := lc.merged[:0]
-			for _, m := range lc.merged {
-				if m.lo == m.hi && m.inputs <= 2 {
-					for _, xb := range lc.inputsOfRow(m.r) {
-						cs.specials[li][xb] = struct{}{}
-					}
-					continue
-				}
-				kept = append(kept, m)
+	// Sort and merge, one independent (kernel, level) unit per worker; the
+	// evicted inputs are collected per unit and folded into the shared
+	// per-level special sets after the join.
+	units := nk * len(levels)
+	evicted := make([][]uint64, units)
+	parallel.ForEach(workers, units, func(u int) {
+		p, li := u/len(levels), u%len(levels)
+		lc := &cs.perKernel[p][li]
+		sort.Slice(lc.raw, func(i, j int) bool { return lc.raw[i].r < lc.raw[j].r })
+		lc.merged = mergeRaw(lc.raw, func(xbits uint64) {
+			evicted[u] = append(evicted[u], xbits)
+		})
+		// Singleton rows covering at most two inputs (exact results such
+		// as 10^k for exp10) pin a coefficient combination to one double
+		// each and force the exact LP on every sample; a special-case
+		// table entry is cheaper in both generation time and runtime —
+		// this is where a share of the paper's "special case inputs"
+		// comes from. Rows shared by many inputs (e.g. exp2's r = 0,
+		// owned by every integer input) stay as equality constraints.
+		kept := lc.merged[:0]
+		for _, m := range lc.merged {
+			if m.lo == m.hi && m.inputs <= 2 {
+				evicted[u] = append(evicted[u], lc.inputsOfRow(m.r)...)
+				continue
 			}
-			lc.merged = kept
+			kept = append(kept, m)
+		}
+		lc.merged = kept
+	})
+	for u, ev := range evicted {
+		li := u % len(levels)
+		for _, xb := range ev {
+			cs.specials[li][xb] = struct{}{}
 		}
 	}
 	return cs, nil

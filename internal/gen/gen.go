@@ -5,12 +5,14 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/bigmath"
 	"repro/internal/clarkson"
 	"repro/internal/fp"
 	"repro/internal/oracle"
+	"repro/internal/parallel"
 	"repro/internal/poly"
 	"repro/internal/reduction"
 )
@@ -44,8 +46,16 @@ type Options struct {
 	// an extension beyond the paper's Table 2 guarantee, typically at the
 	// cost of one extra term per lower level.
 	ProgressiveRO bool
-	// Seed drives all randomness; runs are reproducible.
+	// Seed drives all randomness; runs are reproducible. Every concurrent
+	// Clarkson solve derives its own generator from Seed and its (kernel,
+	// piece-count, piece) coordinates, so the output does not depend on
+	// Workers.
 	Seed int64
+	// Workers bounds the worker goroutines of the enumeration, solve,
+	// specials-resolution and merge stages: 0 means one per logical CPU,
+	// 1 runs everything inline. The generated result is bit-identical for
+	// every value.
+	Workers int
 	// Logf, when non-nil, receives progress lines.
 	Logf func(string, ...interface{})
 	// Oracle, when non-nil, is used instead of a fresh one — sharing it
@@ -132,30 +142,69 @@ type Result struct {
 	ProgressiveRO bool
 	Stats         Stats
 
+	schemeOnce  sync.Once
 	schemeCache reduction.Scheme
 }
 
 // Scheme returns (and caches) the reduction scheme of the result's
-// function.
+// function. It is safe for concurrent use: the verification workers all
+// evaluate one shared Result.
 func (res *Result) Scheme() reduction.Scheme {
-	if res.schemeCache == nil {
-		res.schemeCache = reduction.ForFunc(res.Fn)
-	}
+	res.schemeOnce.Do(func() { res.schemeCache = reduction.ForFunc(res.Fn) })
 	return res.schemeCache
+}
+
+// checkLevels validates the level list shared by Generate and Enumerate.
+func checkLevels(levels []fp.Format) error {
+	for _, l := range levels {
+		if l.ExpBits() != 8 {
+			return fmt.Errorf("gen: level %v: schemes support the 8-exponent-bit family only", l)
+		}
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i].Bits() <= levels[i-1].Bits() {
+			return fmt.Errorf("gen: levels must be ordered by increasing width")
+		}
+	}
+	return nil
+}
+
+// Enumerate runs only the constraint-enumeration stage of the pipeline —
+// enumerate every input, query the oracle, derive and merge the rounding
+// intervals — and reports the resulting system size. Benchmarks and tooling
+// use it to measure the enumerate→oracle→interval hot path without the
+// solve.
+func Enumerate(fn bigmath.Func, opt Options) (rawConstraints, mergedRows int, err error) {
+	opt.defaults()
+	if err := checkLevels(opt.Levels); err != nil {
+		return 0, 0, err
+	}
+	orc := opt.Oracle
+	if orc == nil {
+		orc = oracle.New(fn)
+	}
+	if orc.Func() != fn {
+		return 0, 0, fmt.Errorf("gen: oracle is for %v, not %v", orc.Func(), fn)
+	}
+	cs, err := buildConstraints(fn, reduction.ForFunc(fn), orc, opt.Levels,
+		opt.ProgressiveRO, opt.Workers, opt.Logf)
+	if err != nil {
+		return 0, 0, err
+	}
+	merged := 0
+	for _, pk := range cs.perKernel {
+		for _, lc := range pk {
+			merged += len(lc.merged)
+		}
+	}
+	return cs.rawCount, merged, nil
 }
 
 // Generate runs the full RLIBM-Prog pipeline for fn.
 func Generate(fn bigmath.Func, opt Options) (*Result, error) {
 	opt.defaults()
-	for _, l := range opt.Levels {
-		if l.ExpBits() != 8 {
-			return nil, fmt.Errorf("gen: level %v: schemes support the 8-exponent-bit family only", l)
-		}
-	}
-	for i := 1; i < len(opt.Levels); i++ {
-		if opt.Levels[i].Bits() <= opt.Levels[i-1].Bits() {
-			return nil, fmt.Errorf("gen: levels must be ordered by increasing width")
-		}
+	if err := checkLevels(opt.Levels); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	logf := opt.Logf
@@ -172,7 +221,7 @@ func Generate(fn bigmath.Func, opt Options) (*Result, error) {
 	}
 
 	logf("%v: enumerating %d levels ...", fn, len(opt.Levels))
-	cs, err := buildConstraints(fn, scheme, orc, opt.Levels, opt.ProgressiveRO, logf)
+	cs, err := buildConstraints(fn, scheme, orc, opt.Levels, opt.ProgressiveRO, opt.Workers, logf)
 	if err != nil {
 		return nil, err
 	}
@@ -184,10 +233,9 @@ func Generate(fn bigmath.Func, opt Options) (*Result, error) {
 		Specials:      make([][]SpecialInput, len(opt.Levels)),
 		ProgressiveRO: opt.ProgressiveRO,
 	}
-	rng := rand.New(rand.NewSource(opt.Seed ^ int64(fn)<<32 ^ 0x70726f67))
 
 	for p := 0; p < scheme.NumPolys(); p++ {
-		kp, err := solveKernel(fn, scheme, cs, p, opt, rng, res, logf)
+		kp, err := solveKernel(fn, scheme, cs, p, opt, res, logf)
 		if err != nil {
 			return nil, err
 		}
@@ -195,15 +243,37 @@ func Generate(fn bigmath.Func, opt Options) (*Result, error) {
 	}
 
 	// Resolve special inputs: for every violated/evicted input, store the
-	// all-modes-correct round-to-odd proxy of its level.
+	// all-modes-correct round-to-odd proxy of its level. The proxies are
+	// independent oracle queries, computed on the pool over a flattened
+	// (level, input) work list.
+	type specialKey struct {
+		li int
+		b  uint64
+	}
+	var keys []specialKey
 	for li, set := range cs.specials {
-		lvl := opt.Levels[li]
-		ext := lvl.Extend(2)
 		for b := range set {
-			x := lvl.Decode(b)
-			proxy := ext.Decode(orc.Result(x, ext, fp.RoundToOdd))
-			res.Specials[li] = append(res.Specials[li], SpecialInput{X: x, Proxy: proxy})
+			keys = append(keys, specialKey{li, b})
 		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].li != keys[j].li {
+			return keys[i].li < keys[j].li
+		}
+		return keys[i].b < keys[j].b
+	})
+	resolved := make([]SpecialInput, len(keys))
+	parallel.ForEach(opt.Workers, len(keys), func(i int) {
+		lvl := opt.Levels[keys[i].li]
+		ext := lvl.Extend(2)
+		x := lvl.Decode(keys[i].b)
+		proxy := ext.Decode(orc.Result(x, ext, fp.RoundToOdd))
+		resolved[i] = SpecialInput{X: x, Proxy: proxy}
+	})
+	for i, k := range keys {
+		res.Specials[k.li] = append(res.Specials[k.li], resolved[i])
+	}
+	for li := range res.Specials {
 		sort.Slice(res.Specials[li], func(i, j int) bool {
 			return res.Specials[li][i].X < res.Specials[li][j].X
 		})
@@ -223,9 +293,31 @@ func Generate(fn bigmath.Func, opt Options) (*Result, error) {
 	return res, nil
 }
 
-// solveKernel finds a piecewise progressive polynomial for kernel p.
+// pieceSeed derives the deterministic RNG seed of one piece solve. Folding
+// in the function, kernel index, the piece count of the current escalation
+// attempt and the piece index (through a splitmix64-style finalizer) gives
+// every concurrent Clarkson solve an independent stream whose draws cannot
+// interleave with any other solve's, so generation is reproducible for
+// every worker count.
+func pieceSeed(seed int64, fn bigmath.Func, kernel, pieces, pi int) int64 {
+	z := uint64(seed) ^ 0x70726f6772657373 // "progress"
+	for _, v := range [...]uint64{uint64(fn), uint64(kernel), uint64(pieces), uint64(pi)} {
+		z ^= v + 0x9e3779b97f4a7c15 + (z << 6) + (z >> 2)
+	}
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// solveKernel finds a piecewise progressive polynomial for kernel p. Within
+// one escalation attempt the sub-domain pieces are independent constraint
+// systems; they are solved concurrently on the pool, each with its own
+// deterministically seeded generator, and merged in piece order.
 func solveKernel(fn bigmath.Func, scheme reduction.Scheme, cs *constraintSet, p int,
-	opt Options, rng *rand.Rand, res *Result, logf func(string, ...interface{})) (*KernelPoly, error) {
+	opt Options, res *Result, logf func(string, ...interface{})) (*KernelPoly, error) {
 
 	domLo, domHi := scheme.ReducedDomain()
 	st := scheme.Structure(p)
@@ -237,20 +329,37 @@ func solveKernel(fn bigmath.Func, scheme reduction.Scheme, cs *constraintSet, p 
 	}
 	for pieces := startPieces; pieces <= maxPieces; pieces *= 2 {
 		bounds := splitDomain(domLo, domHi, pieces)
+		type pieceOut struct {
+			piece *Piece
+			viols []violation
+			stats solveStats
+			found bool
+		}
+		outs := make([]pieceOut, pieces)
+		parallel.ForEach(opt.Workers, pieces, func(pi int) {
+			lo, hi := bounds[pi], bounds[pi+1]
+			rows, rowMeta := collectRows(cs, p, lo, hi, pi == pieces-1, nLevels)
+			rng := rand.New(rand.NewSource(pieceSeed(opt.Seed, fn, p, pieces, pi)))
+			piece, viols, st2, found := solvePiece(rows, rowMeta, st, nLevels, opt, rng)
+			if found {
+				piece.Lo, piece.Hi = lo, hi
+			}
+			outs[pi] = pieceOut{piece: piece, viols: viols, stats: st2, found: found}
+		})
 		kp := &KernelPoly{Structure: st}
 		ok := true
 		var pending []violation
-		for pi := 0; pi < pieces && ok; pi++ {
-			lo, hi := bounds[pi], bounds[pi+1]
-			rows, rowMeta := collectRows(cs, p, lo, hi, pi == pieces-1, nLevels)
-			piece, viols, found := solvePiece(rows, rowMeta, st, nLevels, opt, rng, res)
-			if !found {
+		for pi := 0; pi < pieces; pi++ {
+			res.Stats.Attempts += outs[pi].stats.attempts
+			res.Stats.Iters += outs[pi].stats.iters
+			res.Stats.Lucky += outs[pi].stats.lucky
+			res.Stats.ExactSolves += outs[pi].stats.exactSolves
+			if !outs[pi].found {
 				ok = false
-				break
+				continue
 			}
-			piece.Lo, piece.Hi = lo, hi
-			kp.Pieces = append(kp.Pieces, *piece)
-			pending = append(pending, viols...)
+			kp.Pieces = append(kp.Pieces, *outs[pi].piece)
+			pending = append(pending, outs[pi].viols...)
 		}
 		if ok {
 			// Commit deferred specials: every input whose raw constraint
@@ -304,6 +413,12 @@ func splitDomain(lo, hi float64, n int) []float64 {
 	return b
 }
 
+// solveStats is the solver-effort delta of one piece solve, merged into
+// Stats in deterministic piece order by solveKernel.
+type solveStats struct {
+	attempts, iters, lucky, exactSolves int
+}
+
 // solvePiece searches term-count assignments for one sub-domain: the total
 // term count k grows from 1 to MaxTerms, and for each k the lower levels'
 // term counts escalate from their minima toward k, bumping the level with
@@ -311,12 +426,14 @@ func splitDomain(lo, hi float64, n int) []float64 {
 // the number of terms used for the smaller bitwidth representations ...
 // we increase the number of terms used for the largest representation when
 // we are unable to find a progressive polynomial after increasing the
-// terms used for the smaller representations").
+// terms used for the smaller representations"). rng must be exclusive to
+// this call; solvePiece runs concurrently with other pieces.
 func solvePiece(rows []clarkson.Row, meta []rowMeta, st poly.Structure, nLevels int,
-	opt Options, rng *rand.Rand, res *Result) (*Piece, []violation, bool) {
+	opt Options, rng *rand.Rand) (*Piece, []violation, solveStats, bool) {
 
+	var stats solveStats
 	if len(rows) == 0 {
-		return &Piece{Coeffs: []float64{0}, LevelTerms: onesVector(nLevels, 1)}, nil, true
+		return &Piece{Coeffs: []float64{0}, LevelTerms: onesVector(nLevels, 1)}, nil, stats, true
 	}
 	xScale := 0.0
 	for _, r := range rows {
@@ -375,10 +492,10 @@ func solvePiece(rows []clarkson.Row, meta []rowMeta, st poly.Structure, nLevels 
 				Rng:              rng,
 			}
 			cr := clarkson.Solve(rows, cfg)
-			res.Stats.Attempts++
-			res.Stats.Iters += cr.Iters
-			res.Stats.Lucky += cr.Lucky
-			res.Stats.ExactSolves += cr.ExactSolves
+			stats.attempts++
+			stats.iters += cr.Iters
+			stats.lucky += cr.Lucky
+			stats.exactSolves += cr.ExactSolves
 			if opt.Logf != nil {
 				opt.Logf("    attempt k=%d terms=%v rows=%d: found=%v infeasible=%v best=%d iters=%d lucky=%d exact=%d lastErr=%v",
 					k, terms, len(rows), cr.Found, cr.Infeasible, cr.BestViolations, cr.Iters, cr.Lucky, cr.ExactSolves, cr.LastErr)
@@ -389,7 +506,7 @@ func solvePiece(rows []clarkson.Row, meta []rowMeta, st poly.Structure, nLevels 
 				viols, withinBudget := violationSpecials(cr.Violations, meta, opt.MaxSpecials)
 				if withinBudget {
 					return &Piece{Coeffs: cr.Coeffs, LevelTerms: append([]int(nil), terms...)},
-						viols, true
+						viols, stats, true
 				}
 			}
 			// Escalate: bump the lower level with the most violations at
@@ -404,7 +521,7 @@ func solvePiece(rows []clarkson.Row, meta []rowMeta, st poly.Structure, nLevels 
 			}
 		}
 	}
-	return nil, nil, false
+	return nil, nil, stats, false
 }
 
 // minLevelTerms returns the smallest t (possibly 0) for which level li's

@@ -107,7 +107,7 @@ func TestCommittedTablesBfloat16(t *testing.T) {
 		res, _ := Progressive(fn)
 		impl := verify.NewGenImpl(res)
 		orc := oracleFor(fn)
-		for _, rep := range verify.Exhaustive(impl, orc, fp.Bfloat16, []fp.Mode{fp.RoundNearestEven}) {
+		for _, rep := range verify.Exhaustive(impl, orc, fp.Bfloat16, []fp.Mode{fp.RoundNearestEven}, 0) {
 			if !rep.Correct() {
 				t.Errorf("%v: %v", fn, rep)
 			}
@@ -142,7 +142,7 @@ func TestCommittedTablesIntermediateFormats(t *testing.T) {
 		impl := verify.NewGenImpl(res)
 		orc := oracleFor(fn)
 		for _, f := range []fp.Format{mid, small} {
-			for _, rep := range verify.Sampled(impl, orc, f, fp.StandardModes, 3000, 11) {
+			for _, rep := range verify.Sampled(impl, orc, f, fp.StandardModes, 3000, 11, 0) {
 				if !rep.Correct() {
 					t.Errorf("%v at %v: %v", fn, f, rep)
 				}

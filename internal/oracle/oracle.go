@@ -18,11 +18,25 @@
 //     the residual.
 //
 // Everything else falls through to the Ziv loop in bigmath.
+//
+// # Concurrency
+//
+// An Oracle is safe for concurrent use by multiple goroutines: the sharded
+// enumeration and verification pipelines issue Result queries from every
+// worker against one shared instance. The identity-sharing caches are
+// lock-striped maps of immutable *big.Float values (two workers racing on
+// the same key may both compute it; the values are deterministic, so either
+// insertion is correct), and the Stats path counters are maintained with
+// sync/atomic. Stats() taken while queries are in flight returns a
+// consistent-enough snapshot for reporting; quiesce all workers first when
+// an exact total is required.
 package oracle
 
 import (
 	"math"
 	"math/big"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bigmath"
 	"repro/internal/fp"
@@ -50,18 +64,95 @@ func (s Stats) Total() uint64 {
 	return s.Specials + s.Exacts + s.Clamps + s.Anchors + s.Shared + s.FullEvals
 }
 
+// counters is the internal race-free representation of Stats.
+type counters struct {
+	specials  atomic.Uint64
+	exacts    atomic.Uint64
+	clamps    atomic.Uint64
+	anchors   atomic.Uint64
+	shared    atomic.Uint64
+	fullEvals atomic.Uint64
+	ambiguous atomic.Uint64
+}
+
+// cacheStripes is the stripe count of the shared value caches; a power of
+// two so the stripe index is a shift-and-mask.
+const cacheStripes = 64
+
+// bigCache is a lock-striped map from a 64-bit key to an immutable
+// *big.Float, safe for concurrent use by the enumeration workers.
+type bigCache struct {
+	stripes [cacheStripes]struct {
+		mu sync.Mutex
+		m  map[uint64]*big.Float
+	}
+}
+
+func newBigCache() *bigCache {
+	c := &bigCache{}
+	for i := range c.stripes {
+		c.stripes[i].m = make(map[uint64]*big.Float)
+	}
+	return c
+}
+
+func (c *bigCache) stripe(key uint64) *struct {
+	mu sync.Mutex
+	m  map[uint64]*big.Float
+} {
+	// Fibonacci hashing spreads the mantissa-bit keys (whose low bits are
+	// highly structured) across the stripes.
+	return &c.stripes[(key*0x9e3779b97f4a7c15)>>(64-6)&(cacheStripes-1)]
+}
+
+// get returns the cached value for key, computing and inserting it on a
+// miss. compute runs outside the stripe lock, so two goroutines racing on
+// the same key may both compute it; the first insertion wins and the
+// loser's identical value is discarded.
+func (c *bigCache) get(key uint64, compute func() *big.Float) *big.Float {
+	s := c.stripe(key)
+	s.mu.Lock()
+	if v, ok := s.m[key]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	v := compute()
+	s.mu.Lock()
+	if w, ok := s.m[key]; ok {
+		v = w
+	} else {
+		s.m[key] = v
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// size returns the number of cached values across all stripes.
+func (c *bigCache) size() int {
+	n := 0
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
+	return n
+}
+
 // Oracle answers correctly-rounded-result queries for one elementary
-// function. It is not safe for concurrent use.
+// function. It is safe for concurrent use; see the package comment for the
+// concurrency contract.
 type Oracle struct {
 	fn    bigmath.Func
-	stats Stats
+	stats counters
 
 	// logCache maps the frexp mantissa bits of x to f(m) at cachePrec,
 	// where m ∈ [0.5, 1); used by ln/log2/log10.
-	logCache map[uint64]*big.Float
-	// trigCache maps the exact reduction z = |x| mod 2 to f(z) at
-	// cachePrec; used by sinpi/cospi.
-	trigCache map[float64]*big.Float
+	logCache *bigCache
+	// trigCache maps the bits of the exact reduction z = |x| mod 2 to f(z)
+	// at cachePrec; used by sinpi/cospi.
+	trigCache *bigCache
 }
 
 // New returns an oracle for fn.
@@ -69,9 +160,9 @@ func New(fn bigmath.Func) *Oracle {
 	o := &Oracle{fn: fn}
 	switch fn {
 	case bigmath.Ln, bigmath.Log2, bigmath.Log10:
-		o.logCache = make(map[uint64]*big.Float)
+		o.logCache = newBigCache()
 	case bigmath.SinPi, bigmath.CosPi:
-		o.trigCache = make(map[float64]*big.Float)
+		o.trigCache = newBigCache()
 	}
 	return o
 }
@@ -79,25 +170,35 @@ func New(fn bigmath.Func) *Oracle {
 // Func returns the function this oracle answers for.
 func (o *Oracle) Func() bigmath.Func { return o.fn }
 
-// Stats returns a copy of the path counters.
-func (o *Oracle) Stats() Stats { return o.stats }
+// Stats returns a snapshot of the path counters.
+func (o *Oracle) Stats() Stats {
+	return Stats{
+		Specials:  o.stats.specials.Load(),
+		Exacts:    o.stats.exacts.Load(),
+		Clamps:    o.stats.clamps.Load(),
+		Anchors:   o.stats.anchors.Load(),
+		Shared:    o.stats.shared.Load(),
+		FullEvals: o.stats.fullEvals.Load(),
+		Ambiguous: o.stats.ambiguous.Load(),
+	}
+}
 
 // Result returns the bits of fn(x) correctly rounded into out under mode.
 func (o *Oracle) Result(x float64, out fp.Format, mode fp.Mode) uint64 {
 	if bits, ok := bigmath.SpecialBits(o.fn, x, out); ok {
-		o.stats.Specials++
+		o.stats.specials.Add(1)
 		return bits
 	}
 	if v, ok := bigmath.ExactValue(o.fn, x); ok {
-		o.stats.Exacts++
+		o.stats.exacts.Add(1)
 		return out.FromBig(v, mode)
 	}
 	if bits, ok := o.rangeClamp(x, out, mode); ok {
-		o.stats.Clamps++
+		o.stats.clamps.Add(1)
 		return bits
 	}
 	if bits, ok := o.anchorShortcut(x, out, mode); ok {
-		o.stats.Anchors++
+		o.stats.anchors.Add(1)
 		return bits
 	}
 	switch o.fn {
@@ -106,7 +207,7 @@ func (o *Oracle) Result(x float64, out fp.Format, mode fp.Mode) uint64 {
 	case bigmath.SinPi, bigmath.CosPi:
 		return o.trigShared(x, out, mode)
 	}
-	o.stats.FullEvals++
+	o.stats.fullEvals.Add(1)
 	return out.FromBig(bigmath.EvalUnambiguous(o.fn, x, out, mode), mode)
 }
 
@@ -219,24 +320,21 @@ func justAside(out fp.Format, anchor float64, positiveDelta bool, mode fp.Mode) 
 func (o *Oracle) logShared(x float64, out fp.Format, mode fp.Mode) uint64 {
 	m, e := math.Frexp(x) // x > 0 here
 	key := math.Float64bits(m)
-	fm, ok := o.logCache[key]
-	if !ok {
+	fm := o.logCache.get(key, func() *big.Float {
 		if m == 0.5 {
 			// log(0.5) = -log(2): exact constant, avoids Eval at a point
 			// where the log is an exact multiple of the shared constant.
 			switch o.fn {
 			case bigmath.Ln:
-				fm = new(big.Float).SetPrec(cachePrec).Neg(bigmath.Ln2(cachePrec))
+				return new(big.Float).SetPrec(cachePrec).Neg(bigmath.Ln2(cachePrec))
 			case bigmath.Log2:
-				fm = new(big.Float).SetPrec(cachePrec).SetInt64(-1)
+				return new(big.Float).SetPrec(cachePrec).SetInt64(-1)
 			case bigmath.Log10:
-				fm = new(big.Float).SetPrec(cachePrec).Neg(bigmath.Log10Of2(cachePrec))
+				return new(big.Float).SetPrec(cachePrec).Neg(bigmath.Log10Of2(cachePrec))
 			}
-		} else {
-			fm = bigmath.Eval(o.fn, m, cachePrec)
 		}
-		o.logCache[key] = fm
-	}
+		return bigmath.Eval(o.fn, m, cachePrec)
+	})
 	y := new(big.Float).SetPrec(cachePrec)
 	eb := new(big.Float).SetPrec(cachePrec).SetInt64(int64(e))
 	switch o.fn {
@@ -249,11 +347,11 @@ func (o *Oracle) logShared(x float64, out fp.Format, mode fp.Mode) uint64 {
 	}
 	y.Add(y, fm)
 	if bits, ok := o.roundUnlessAmbiguous(y, out, mode); ok {
-		o.stats.Shared++
+		o.stats.shared.Add(1)
 		return bits
 	}
-	o.stats.Ambiguous++
-	o.stats.FullEvals++
+	o.stats.ambiguous.Add(1)
+	o.stats.fullEvals.Add(1)
 	return out.FromBig(bigmath.EvalUnambiguous(o.fn, x, out, mode), mode)
 }
 
@@ -261,21 +359,19 @@ func (o *Oracle) logShared(x float64, out fp.Format, mode fp.Mode) uint64 {
 // reduction z = |x| mod 2, using sinπ(-x) = -sinπ(x) and cosπ(-x) = cosπ(x).
 func (o *Oracle) trigShared(x float64, out fp.Format, mode fp.Mode) uint64 {
 	z := math.Mod(math.Abs(x), 2)
-	fz, ok := o.trigCache[z]
-	if !ok {
-		fz = bigmath.Eval(o.fn, z, cachePrec)
-		o.trigCache[z] = fz
-	}
+	fz := o.trigCache.get(math.Float64bits(z), func() *big.Float {
+		return bigmath.Eval(o.fn, z, cachePrec)
+	})
 	y := fz
 	if o.fn == bigmath.SinPi && math.Signbit(x) {
 		y = new(big.Float).SetPrec(cachePrec).Neg(fz)
 	}
 	if bits, ok := o.roundUnlessAmbiguous(y, out, mode); ok {
-		o.stats.Shared++
+		o.stats.shared.Add(1)
 		return bits
 	}
-	o.stats.Ambiguous++
-	o.stats.FullEvals++
+	o.stats.ambiguous.Add(1)
+	o.stats.fullEvals.Add(1)
 	return out.FromBig(bigmath.EvalUnambiguous(o.fn, x, out, mode), mode)
 }
 

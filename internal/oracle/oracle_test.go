@@ -3,6 +3,7 @@ package oracle
 import (
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/bigmath"
@@ -77,16 +78,16 @@ func TestAccelerationPathsFire(t *testing.T) {
 	ol := New(bigmath.Ln)
 	ol.Result(1.5, out, fp.RoundToOdd)
 	ol.Result(3.0, out, fp.RoundToOdd) // same mantissa as 1.5: cache hit
-	if s := ol.Stats(); s.Shared != 2 || len(ol.logCache) != 1 {
-		t.Errorf("ln stats: %+v cache=%d", s, len(ol.logCache))
+	if s := ol.Stats(); s.Shared != 2 || ol.logCache.size() != 1 {
+		t.Errorf("ln stats: %+v cache=%d", s, ol.logCache.size())
 	}
 
 	ot := New(bigmath.SinPi)
 	ot.Result(0.3125, out, fp.RoundToOdd)
 	ot.Result(2.3125, out, fp.RoundToOdd)  // binary-exact: reduces to same z
 	ot.Result(-0.3125, out, fp.RoundToOdd) // odd symmetry, same cache entry
-	if s := ot.Stats(); s.Shared != 3 || len(ot.trigCache) != 1 {
-		t.Errorf("sinpi stats: %+v cache=%d", s, len(ot.trigCache))
+	if s := ot.Stats(); s.Shared != 3 || ot.trigCache.size() != 1 {
+		t.Errorf("sinpi stats: %+v cache=%d", s, ot.trigCache.size())
 	}
 }
 
@@ -141,6 +142,41 @@ func TestSinhAnchorSubnormals(t *testing.T) {
 	}
 	if o.Stats().Anchors == 0 {
 		t.Error("anchor path did not fire for sinh(minSub)")
+	}
+}
+
+// Concurrent queries against one shared oracle: under -race this covers the
+// striped caches and the atomic stats counters; in any mode it checks that
+// concurrent answers match the serial reference and that no query is lost
+// from the counters.
+func TestConcurrentResultRaceFree(t *testing.T) {
+	in := fp.MustFormat(11, 8)
+	out := in.Extend(2)
+	for _, fn := range []bigmath.Func{bigmath.Ln, bigmath.SinPi, bigmath.Exp} {
+		o := New(fn)
+		const workers = 4
+		nvals := in.NumValues()
+		got := make([]uint64, nvals)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for b := uint64(w); b < nvals; b += workers {
+					got[b] = o.Result(in.Decode(b), out, fp.RoundToOdd)
+				}
+			}(w)
+		}
+		wg.Wait()
+		ref := New(fn)
+		for b := uint64(0); b < nvals; b++ {
+			if want := ref.Result(in.Decode(b), out, fp.RoundToOdd); got[b] != want {
+				t.Fatalf("%v: concurrent result for bits %#x = %#x, serial %#x", fn, b, got[b], want)
+			}
+		}
+		if s := o.Stats(); s.Total() != nvals {
+			t.Errorf("%v: stats total %d != %d queries", fn, s.Total(), nvals)
+		}
 	}
 }
 

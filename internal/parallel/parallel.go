@@ -1,0 +1,127 @@
+// Package parallel provides the shared worker-pool primitives behind the
+// sharded hot paths of the generator and the verifier: constraint
+// enumeration, exhaustive verification and the per-piece Clarkson solves.
+//
+// The design contract throughout this repository is that parallel output is
+// bit-identical to serial output for every worker count. The primitives
+// here support that contract structurally: SplitRange always cuts an input
+// space into contiguous ascending ranges, so concatenating per-shard
+// results in shard order reproduces the serial enumeration order exactly,
+// and ForEach only distributes independent index-addressed work whose
+// results land in caller-owned per-index slots.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerCount resolves a worker-count option: values > 0 are used as given;
+// zero or negative means one worker per logical CPU (GOMAXPROCS).
+func WorkerCount(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// oversubscribe is the shard-per-worker factor: per-input oracle cost varies
+// wildly across a format's bit range (exact/clamp/anchor shortcuts versus
+// full Ziv evaluations), so handing each worker several smaller shards
+// smooths the load while keeping per-shard merge overhead negligible.
+const oversubscribe = 4
+
+// ShardCount returns how many contiguous shards an input space should be
+// cut into for the given worker-count option.
+func ShardCount(workers int) int { return WorkerCount(workers) * oversubscribe }
+
+// Range is a half-open slice [Lo, Hi) of an input bit-pattern space.
+type Range struct{ Lo, Hi uint64 }
+
+// SplitRange cuts [0, n) into at most parts contiguous near-equal ranges in
+// ascending order, omitting empty ones. Concatenating the ranges in slice
+// order always reproduces the full ascending space — the property that
+// keeps sharded enumeration bit-identical to the serial loop regardless of
+// the worker or shard count.
+func SplitRange(n uint64, parts int) []Range {
+	if n == 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if uint64(parts) > n {
+		parts = int(n)
+	}
+	out := make([]Range, 0, parts)
+	size, rem := n/uint64(parts), n%uint64(parts)
+	lo := uint64(0)
+	for i := 0; i < parts; i++ {
+		hi := lo + size
+		if uint64(i) < rem {
+			hi++
+		}
+		out = append(out, Range{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return out
+}
+
+// ForEach runs fn(i) for every i in [0, n), distributing indices over up to
+// workers goroutines (the option is resolved with WorkerCount and clamped
+// to n). With one worker it runs inline on the calling goroutine. Indices
+// are claimed dynamically, so callers must not rely on any execution order;
+// deterministic results come from writing each index's output to its own
+// slot and merging in index order afterwards. A panic in fn is re-raised on
+// the calling goroutine after all workers stop claiming work.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := WorkerCount(workers)
+	if w > n {
+		w = n
+	}
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicVal  interface{}
+		panicked  bool
+	)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() {
+						panicVal = r
+						panicked = true
+					})
+					// Drain the remaining indices so sibling workers
+					// finish quickly and the panic surfaces promptly.
+					next.Store(int64(n))
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
+}

@@ -1,0 +1,86 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSplitRangeCoversSpaceInOrder(t *testing.T) {
+	for _, tc := range []struct {
+		n     uint64
+		parts int
+	}{
+		{0, 4}, {1, 4}, {7, 3}, {64, 1}, {65, 8}, {1 << 16, 13}, {5, 0},
+	} {
+		rs := SplitRange(tc.n, tc.parts)
+		var lo uint64
+		for _, r := range rs {
+			if r.Lo != lo {
+				t.Fatalf("n=%d parts=%d: range %+v does not start at %d", tc.n, tc.parts, r, lo)
+			}
+			if r.Hi <= r.Lo {
+				t.Fatalf("n=%d parts=%d: empty range %+v", tc.n, tc.parts, r)
+			}
+			lo = r.Hi
+		}
+		if lo != tc.n {
+			t.Fatalf("n=%d parts=%d: ranges cover [0,%d), want [0,%d)", tc.n, tc.parts, lo, tc.n)
+		}
+		if tc.parts > 0 && len(rs) > tc.parts {
+			t.Fatalf("n=%d parts=%d: %d ranges", tc.n, tc.parts, len(rs))
+		}
+	}
+}
+
+func TestSplitRangeBalance(t *testing.T) {
+	rs := SplitRange(103, 10)
+	for _, r := range rs {
+		if sz := r.Hi - r.Lo; sz != 10 && sz != 11 {
+			t.Fatalf("unbalanced range %+v", r)
+		}
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		ForEach(workers, n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndTiny(t *testing.T) {
+	ForEach(8, 0, func(int) { t.Fatal("called for empty range") })
+	ran := false
+	ForEach(8, 1, func(i int) { ran = i == 0 })
+	if !ran {
+		t.Fatal("single index not visited")
+	}
+}
+
+func TestForEachPropagatesPanic(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	ForEach(4, 100, func(i int) {
+		if i == 17 {
+			panic("boom")
+		}
+	})
+}
+
+func TestWorkerCount(t *testing.T) {
+	if WorkerCount(3) != 3 {
+		t.Error("explicit count not honoured")
+	}
+	if WorkerCount(0) < 1 || WorkerCount(-1) < 1 {
+		t.Error("default count must be positive")
+	}
+}

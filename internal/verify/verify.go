@@ -1,6 +1,15 @@
 // Package verify checks generated implementations (and comparator
 // libraries) for correct rounding by exhaustive enumeration, reproducing
 // the methodology behind Table 2 of the paper.
+//
+// The (input × rounding-mode) space of every check is sharded into
+// contiguous bit-ranges and verified on a worker pool (the workers argument
+// resolves through parallel.WorkerCount: 0 means one per logical CPU, 1
+// runs serially). Per-shard reports are merged in deterministic shard
+// order, so mismatch counts, mismatch lists and first-failure witnesses are
+// bit-identical to a serial sweep for every worker count. Impl
+// implementations must therefore be safe for concurrent Bits calls — the
+// generated Result, the baselines and the oracle all are.
 package verify
 
 import (
@@ -10,12 +19,13 @@ import (
 	"repro/internal/fp"
 	"repro/internal/gen"
 	"repro/internal/oracle"
+	"repro/internal/parallel"
 )
 
 // Impl is any math-library implementation of one elementary function that
 // can answer "f(x) rounded into out under mode" — the generated library,
 // the RLibm-All baseline, and the double-precision comparators all satisfy
-// it.
+// it. Bits must be safe for concurrent calls.
 type Impl interface {
 	// Bits returns the result bit pattern of f(x) in out under mode; x is
 	// always a value of out... of the queried input format.
@@ -45,67 +55,104 @@ func (r Report) String() string {
 // accumulate gigabytes.
 const maxRecorded = 1 << 16
 
-// Exhaustive checks impl against the oracle over every input of format f
-// under mode. The oracle derives every standard mode from one round-to-odd
-// result at f+2 bits (the RLibm-All theorem, property-tested in fp), so a
-// multi-mode sweep costs a single oracle pass.
-func Exhaustive(impl Impl, orc *oracle.Oracle, f fp.Format, modes []fp.Mode) []Report {
-	ext := f.Extend(2)
-	reports := make([]Report, len(modes))
+// check evaluates one input bit pattern against the oracle's round-to-odd
+// proxy under every requested mode, recording mismatches into reports.
+type check struct {
+	f, ext  fp.Format
+	modes   []fp.Mode
+	orc     *oracle.Oracle
+	got     func(x float64, m fp.Mode) uint64
+	reports []Report
+}
+
+func newCheck(f fp.Format, modes []fp.Mode, orc *oracle.Oracle, got func(float64, fp.Mode) uint64) *check {
+	c := &check{f: f, ext: f.Extend(2), modes: modes, orc: orc, got: got}
+	c.reports = make([]Report, len(modes))
 	for i, m := range modes {
-		reports[i] = Report{Format: f, Mode: m}
+		c.reports[i] = Report{Format: f, Mode: m}
 	}
-	for b := uint64(0); b < f.NumValues(); b++ {
-		x := f.Decode(b)
-		roVal := ext.Decode(orc.Result(x, ext, fp.RoundToOdd))
-		for i, m := range modes {
-			want := f.FromFloat64(roVal, m)
-			got := impl.Bits(x, f, m)
-			reports[i].Checked++
-			if got != want && len(reports[i].Mismatches) < maxRecorded {
-				reports[i].Mismatches = append(reports[i].Mismatches, b)
-			}
+	return c
+}
+
+func (c *check) input(b uint64) {
+	x := c.f.Decode(b)
+	roVal := c.ext.Decode(c.orc.Result(x, c.ext, fp.RoundToOdd))
+	for i, m := range c.modes {
+		want := c.f.FromFloat64(roVal, m)
+		got := c.got(x, m)
+		c.reports[i].Checked++
+		if got != want && len(c.reports[i].Mismatches) < maxRecorded {
+			c.reports[i].Mismatches = append(c.reports[i].Mismatches, b)
 		}
 	}
-	return reports
+}
+
+// sweep shards the bit patterns of inputs[lo:hi] ranges over the pool and
+// merges the per-shard reports in shard order. bits(i) maps a work index to
+// the input bit pattern; n is the work-list length.
+func sweep(f fp.Format, modes []fp.Mode, orc *oracle.Oracle, workers int, n uint64,
+	bits func(uint64) uint64, got func(float64, fp.Mode) uint64) []Report {
+
+	shards := parallel.SplitRange(n, parallel.ShardCount(workers))
+	per := make([][]Report, len(shards))
+	parallel.ForEach(workers, len(shards), func(s int) {
+		c := newCheck(f, modes, orc, got)
+		for i := shards[s].Lo; i < shards[s].Hi; i++ {
+			c.input(bits(i))
+		}
+		per[s] = c.reports
+	})
+	// Merge in shard order: the shards partition the ascending work list,
+	// so concatenating mismatch lists (capped like the serial sweep)
+	// reproduces the serial reports exactly.
+	merged := make([]Report, len(modes))
+	for i, m := range modes {
+		merged[i] = Report{Format: f, Mode: m}
+	}
+	for _, reps := range per {
+		for i := range merged {
+			merged[i].Checked += reps[i].Checked
+			room := maxRecorded - len(merged[i].Mismatches)
+			if room > len(reps[i].Mismatches) {
+				room = len(reps[i].Mismatches)
+			}
+			merged[i].Mismatches = append(merged[i].Mismatches, reps[i].Mismatches[:room]...)
+		}
+	}
+	return merged
+}
+
+// Exhaustive checks impl against the oracle over every input of format f
+// under mode, sharded over up to workers goroutines. The oracle derives
+// every standard mode from one round-to-odd result at f+2 bits (the
+// RLibm-All theorem, property-tested in fp), so a multi-mode sweep costs a
+// single oracle pass.
+func Exhaustive(impl Impl, orc *oracle.Oracle, f fp.Format, modes []fp.Mode, workers int) []Report {
+	return sweep(f, modes, orc, workers, f.NumValues(),
+		func(i uint64) uint64 { return i },
+		func(x float64, m fp.Mode) uint64 { return impl.Bits(x, f, m) })
 }
 
 // Sampled checks impl against the oracle on n random inputs of format f
 // plus a structured corpus (specials, boundaries, values near 1), under
 // each mode. Used where exhaustive enumeration is too slow (the largest
-// format in quick runs).
-func Sampled(impl Impl, orc *oracle.Oracle, f fp.Format, modes []fp.Mode, n int, seed int64) []Report {
-	ext := f.Extend(2)
-	reports := make([]Report, len(modes))
-	for i, m := range modes {
-		reports[i] = Report{Format: f, Mode: m}
-	}
+// format in quick runs). The input list is drawn serially from the seed —
+// so the checked set does not depend on workers — and then verified on the
+// pool.
+func Sampled(impl Impl, orc *oracle.Oracle, f fp.Format, modes []fp.Mode, n int, seed int64, workers int) []Report {
 	rng := rand.New(rand.NewSource(seed))
-	corpus := []uint64{
+	inputs := []uint64{
 		f.Zero(false), f.Zero(true), f.Inf(false), f.Inf(true), f.NaN(),
 		f.MinSubnormal(), f.MaxFinite(), f.FromFloat64(1, fp.RoundNearestEven),
 		f.FromFloat64(-1, fp.RoundNearestEven), f.NextUp(f.FromFloat64(1, fp.RoundNearestEven)),
 		f.NextDown(f.FromFloat64(1, fp.RoundNearestEven)),
 	}
-	check := func(b uint64) {
-		x := f.Decode(b)
-		roVal := ext.Decode(orc.Result(x, ext, fp.RoundToOdd))
-		for i, m := range modes {
-			want := f.FromFloat64(roVal, m)
-			got := impl.Bits(x, f, m)
-			reports[i].Checked++
-			if got != want && len(reports[i].Mismatches) < maxRecorded {
-				reports[i].Mismatches = append(reports[i].Mismatches, b)
-			}
-		}
-	}
-	for _, b := range corpus {
-		check(b)
-	}
 	for i := 0; i < n; i++ {
-		check(uint64(rng.Int63()) & (f.NumValues() - 1))
+		inputs = append(inputs, uint64(rng.Int63())&(f.NumValues()-1))
 	}
-	return reports
+	return sweep(f, modes, orc, workers, uint64(len(inputs)),
+		func(i uint64) uint64 { return inputs[i] },
+		func(x float64, m fp.Mode) uint64 { return impl.Bits(x, f, m) })
 }
 
 // genImpl adapts a generated Result to Impl, serving each query from the
@@ -135,8 +182,11 @@ const RepairBudget = 64
 // round-to-nearest (the paper's progressive guarantee); the largest level
 // under all five standard modes. It returns the number of patches applied
 // and an error when a level exceeds the budget — which indicates a
-// generation bug rather than the handful of expected stragglers.
-func Repair(res *gen.Result, orc *oracle.Oracle) (int, error) {
+// generation bug rather than the handful of expected stragglers. The
+// verification sweeps run on up to workers goroutines; patching is serial
+// and in mismatch order, so the repaired result is worker-count-
+// independent.
+func Repair(res *gen.Result, orc *oracle.Oracle, workers int) (int, error) {
 	patched := 0
 	for li, lvl := range res.Levels {
 		modes := []fp.Mode{fp.RoundNearestEven}
@@ -146,7 +196,7 @@ func Repair(res *gen.Result, orc *oracle.Oracle) (int, error) {
 		ext := lvl.Extend(2)
 		for pass := 0; pass < 2; pass++ {
 			total := 0
-			for _, rep := range ExhaustiveLevel(res, orc, li, modes) {
+			for _, rep := range ExhaustiveLevel(res, orc, li, modes, workers) {
 				total += len(rep.Mismatches)
 				for _, b := range rep.Mismatches {
 					x := lvl.Decode(b)
@@ -168,25 +218,11 @@ func Repair(res *gen.Result, orc *oracle.Oracle) (int, error) {
 }
 
 // ExhaustiveLevel verifies one level of a generated result: every input of
-// the level's format, evaluated with that level's term counts.
-func ExhaustiveLevel(res *gen.Result, orc *oracle.Oracle, li int, modes []fp.Mode) []Report {
+// the level's format, evaluated with that level's term counts, sharded
+// over up to workers goroutines.
+func ExhaustiveLevel(res *gen.Result, orc *oracle.Oracle, li int, modes []fp.Mode, workers int) []Report {
 	lvl := res.Levels[li]
-	ext := lvl.Extend(2)
-	reports := make([]Report, len(modes))
-	for i, m := range modes {
-		reports[i] = Report{Format: lvl, Mode: m}
-	}
-	for b := uint64(0); b < lvl.NumValues(); b++ {
-		x := lvl.Decode(b)
-		roVal := ext.Decode(orc.Result(x, ext, fp.RoundToOdd))
-		for i, m := range modes {
-			want := lvl.FromFloat64(roVal, m)
-			got := res.Eval(x, li, lvl, m)
-			reports[i].Checked++
-			if got != want && len(reports[i].Mismatches) < maxRecorded {
-				reports[i].Mismatches = append(reports[i].Mismatches, b)
-			}
-		}
-	}
-	return reports
+	return sweep(lvl, modes, orc, workers, lvl.NumValues(),
+		func(i uint64) uint64 { return i },
+		func(x float64, m fp.Mode) uint64 { return res.Eval(x, li, lvl, m) })
 }

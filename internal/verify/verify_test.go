@@ -26,7 +26,7 @@ func TestExhaustiveCleanImplementation(t *testing.T) {
 	fn := bigmath.Log10
 	res := smallResult(t, fn)
 	orc := oracle.New(fn)
-	if _, err := Repair(res, orc); err != nil {
+	if _, err := Repair(res, orc, 0); err != nil {
 		t.Fatal(err)
 	}
 	impl := NewGenImpl(res)
@@ -37,7 +37,7 @@ func TestExhaustiveCleanImplementation(t *testing.T) {
 		} else {
 			modes = []fp.Mode{fp.RoundNearestEven}
 		}
-		for _, rep := range Exhaustive(impl, orc, f, modes) {
+		for _, rep := range Exhaustive(impl, orc, f, modes, 0) {
 			if !rep.Correct() {
 				t.Errorf("%v", rep)
 			}
@@ -54,7 +54,7 @@ func TestDetectAndRepairCorruption(t *testing.T) {
 	fn := bigmath.Exp
 	res := smallResult(t, fn)
 	orc := oracle.New(fn)
-	if _, err := Repair(res, orc); err != nil {
+	if _, err := Repair(res, orc, 0); err != nil {
 		t.Fatal(err)
 	}
 
@@ -64,13 +64,13 @@ func TestDetectAndRepairCorruption(t *testing.T) {
 	k.Pieces[0].Coeffs[0] = old * (1 + 1e-3)
 	impl := NewGenImpl(res)
 	bad := 0
-	for _, rep := range ExhaustiveLevel(res, orc, 1, []fp.Mode{fp.RoundNearestEven}) {
+	for _, rep := range ExhaustiveLevel(res, orc, 1, []fp.Mode{fp.RoundNearestEven}, 0) {
 		bad += len(rep.Mismatches)
 	}
 	if bad == 0 {
 		t.Fatal("corruption not detected")
 	}
-	if _, err := Repair(res, orc); err == nil {
+	if _, err := Repair(res, orc, 0); err == nil {
 		t.Fatal("heavy corruption unexpectedly repairable within budget")
 	}
 	k.Pieces[0].Coeffs[0] = old
@@ -83,7 +83,7 @@ func TestDetectAndRepairCorruption(t *testing.T) {
 			break
 		}
 	}
-	if _, err := Repair(res, orc); err != nil {
+	if _, err := Repair(res, orc, 0); err != nil {
 		t.Fatalf("light repair failed: %v", err)
 	}
 	for li := range res.Levels {
@@ -91,7 +91,7 @@ func TestDetectAndRepairCorruption(t *testing.T) {
 		if li == 1 {
 			modes = fp.StandardModes
 		}
-		for _, rep := range ExhaustiveLevel(res, orc, li, modes) {
+		for _, rep := range ExhaustiveLevel(res, orc, li, modes, 0) {
 			if !rep.Correct() {
 				t.Errorf("after repair: %v", rep)
 			}
@@ -103,18 +103,18 @@ func TestSampledFindsCorpusMismatch(t *testing.T) {
 	fn := bigmath.Sinh
 	res := smallResult(t, fn)
 	orc := oracle.New(fn)
-	if _, err := Repair(res, orc); err != nil {
+	if _, err := Repair(res, orc, 0); err != nil {
 		t.Fatal(err)
 	}
 	impl := NewGenImpl(res)
 	f := fp.MustFormat(13, 8)
-	for _, rep := range Sampled(impl, orc, f, fp.StandardModes, 2000, 9) {
+	for _, rep := range Sampled(impl, orc, f, fp.StandardModes, 2000, 9, 0) {
 		if !rep.Correct() {
 			t.Errorf("%v", rep)
 		}
 	}
 	// A broken impl (always +1) must fail immediately via the corpus.
-	brokenReports := Sampled(brokenImpl{}, orc, f, []fp.Mode{fp.RoundNearestEven}, 10, 9)
+	brokenReports := Sampled(brokenImpl{}, orc, f, []fp.Mode{fp.RoundNearestEven}, 10, 9, 0)
 	if brokenReports[0].Correct() {
 		t.Error("broken implementation passed sampling")
 	}
