@@ -1,18 +1,33 @@
 # Developer entry points. `make check` is the tier-1 gate: vet, build,
-# and the full test suite under the race detector (the parallel pipeline
-# makes -race part of the contract, not an optional extra).
+# rlibm-lint, and the full test suite under the race detector (the parallel
+# pipeline makes -race part of the contract, not an optional extra). Each
+# stage announces itself and fails fast so a red gate names its stage.
 
 GO ?= go
 
-.PHONY: check test race bench bench-parallel vet build
+.PHONY: check test race bench bench-parallel vet build lint
 
-check: vet build race
+check:
+	@echo '== vet =='
+	@$(MAKE) --no-print-directory vet
+	@echo '== build =='
+	@$(MAKE) --no-print-directory build
+	@echo '== lint =='
+	@$(MAKE) --no-print-directory lint
+	@echo '== race =='
+	@$(MAKE) --no-print-directory race
+	@echo '== check: all stages passed =='
 
 vet:
 	$(GO) vet ./...
 
 build:
 	$(GO) build ./...
+
+# rlibm-lint enforces the repo-specific determinism, precision and
+# concurrency contracts that go vet cannot see (see internal/analysis).
+lint:
+	$(GO) run ./cmd/rlibm-lint ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,108 @@
+// Command rlibm-lint runs the repository's custom static-analysis suite
+// (internal/analysis) over the module: repo-specific determinism, precision
+// and concurrency contracts that go vet cannot see. It is part of the
+// tier-1 gate (`make check`).
+//
+// Usage:
+//
+//	rlibm-lint [-json] [-list] [packages]
+//
+// Packages default to ./... (the whole module). The exit status is 0 when
+// the tree is clean, 1 when any analyzer reports a finding, and 2 on a
+// load or type-check failure. Findings print as
+//
+//	file:line:col: [analyzer] message
+//
+// and can be suppressed in source with //lint:ignore <analyzer> <reason>
+// (see the internal/analysis package documentation for the policy).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
+		list    = flag.Bool("list", false, "list registered analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rlibm-lint [-json] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	mod, err := analysis.Load(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rlibm-lint: %v\n", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	ips := mod.Match(patterns)
+	if len(ips) == 0 {
+		fmt.Fprintf(os.Stderr, "rlibm-lint: no packages match %v\n", patterns)
+		os.Exit(2)
+	}
+
+	// Load the whole module first: CoeffPath marking needs the full import
+	// graph before the wallclock analyzer can run meaningfully.
+	if _, err := mod.Packages(); err != nil {
+		fmt.Fprintf(os.Stderr, "rlibm-lint: %v\n", err)
+		os.Exit(2)
+	}
+	var diags []analysis.Diagnostic
+	for _, ip := range ips {
+		pkg, err := mod.Package(ip)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rlibm-lint: %v\n", err)
+			os.Exit(2)
+		}
+		diags = append(diags, analysis.RunPackage(mod, pkg, analysis.All())...)
+	}
+
+	if *jsonOut {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "rlibm-lint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "rlibm-lint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,256 @@
+// Package analysis implements rlibm-lint: a stdlib-only static-analysis
+// suite that turns the pipeline's prose contracts — bit-identical output
+// for every worker count, deterministically seeded RNGs, explicit big.Float
+// precision, bit-level float comparison — into machine-checked invariants.
+//
+// The suite deliberately avoids golang.org/x/tools: packages are loaded and
+// type-checked with go/parser, go/types and go/importer only, consistent
+// with the repository's stdlib-only rule. Each analyzer walks the typed
+// ASTs of one package and reports findings as "file:line:col: [name]
+// message". Findings can be suppressed at the exact site with
+//
+//	//lint:ignore <name> <reason>
+//
+// on the offending line or the line directly above it, or for a whole file
+// with
+//
+//	//lint:file-ignore <name> <reason>
+//
+// anywhere in the file. A non-empty reason is mandatory: a suppression
+// without a justification (or naming an unknown analyzer) is itself
+// reported, as "[badignore]", and suppresses nothing.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the finding as file:line:col: [name] message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass is the per-package view handed to each analyzer.
+type Pass struct {
+	Module *Module
+	Fset   *token.FileSet
+	Pkg    *Package
+	Info   *types.Info
+}
+
+// report constructs a Diagnostic for node under analyzer name.
+func (p *Pass) report(name string, node ast.Node, format string, args ...interface{}) Diagnostic {
+	return Diagnostic{Pos: p.Fset.Position(node.Pos()), Analyzer: name, Message: fmt.Sprintf(format, args...)}
+}
+
+// Analyzer is one registered check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) []Diagnostic
+}
+
+// All returns the full registry, in report order.
+func All() []*Analyzer {
+	return []*Analyzer{MapIter, SeedRand, WallClock, FloatEq, BigPrec, PoolCapture}
+}
+
+// RunPackage runs the analyzers over one loaded package, applies the
+// //lint:ignore suppressions, and returns the surviving diagnostics plus
+// any badignore findings, sorted by position.
+func RunPackage(m *Module, pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	pass := &Pass{Module: m, Fset: m.Fset, Pkg: pkg, Info: pkg.Info}
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		diags = append(diags, a.Run(pass)...)
+	}
+	known := make(map[string]bool)
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	ignores, bad := collectIgnores(m.Fset, pkg.Files, known)
+	diags = applyIgnores(diags, ignores)
+	diags = append(diags, bad...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// ignoreDirective is one parsed //lint:ignore or //lint:file-ignore.
+type ignoreDirective struct {
+	file      string
+	line      int
+	name      string
+	fileLevel bool
+}
+
+// collectIgnores parses the suppression comments of the package files,
+// returning the valid directives and a badignore diagnostic for every
+// malformed one (missing reason, unknown analyzer).
+func collectIgnores(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]ignoreDirective, []Diagnostic) {
+	var out []ignoreDirective
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				var fileLevel bool
+				switch fields[0] {
+				case "ignore":
+				case "file-ignore":
+					fileLevel = true
+				default:
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if len(fields) < 3 {
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "badignore",
+						Message: fmt.Sprintf("//lint:%s needs an analyzer name and a justification: //lint:%s <name> <reason>", fields[0], fields[0])})
+					continue
+				}
+				if !known[fields[1]] {
+					bad = append(bad, Diagnostic{Pos: pos, Analyzer: "badignore",
+						Message: fmt.Sprintf("//lint:%s names unknown analyzer %q", fields[0], fields[1])})
+					continue
+				}
+				out = append(out, ignoreDirective{file: pos.Filename, line: pos.Line, name: fields[1], fileLevel: fileLevel})
+			}
+		}
+	}
+	return out, bad
+}
+
+// applyIgnores drops every diagnostic covered by a directive: file-level
+// directives cover their whole file; line directives cover their own line
+// (trailing comment) and the line below (preceding comment).
+func applyIgnores(diags []Diagnostic, ignores []ignoreDirective) []Diagnostic {
+	if len(ignores) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, ig := range ignores {
+			if ig.name != d.Analyzer || ig.file != d.Pos.Filename {
+				continue
+			}
+			if ig.fileLevel || ig.line == d.Pos.Line || ig.line == d.Pos.Line-1 {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// ---- shared typed-AST helpers used by the analyzers ----
+
+// inspect walks every file of the pass.
+func (p *Pass) inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// funcOf resolves the called function object of a call expression, looking
+// through parentheses; nil when the callee is not a known *types.Func.
+func (p *Pass) funcOf(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := p.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := p.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the package-level function pkgPath.name.
+func isPkgFunc(obj types.Object, pkgPath, name string) bool {
+	f, ok := obj.(*types.Func)
+	return ok && f.Pkg() != nil && f.Pkg().Path() == pkgPath && f.Name() == name
+}
+
+// isFloat reports whether t's underlying type is float32 or float64.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isString reports whether t's underlying type is a string.
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// rootIdent descends selector/index/star/paren chains to the base
+// identifier of an lvalue-ish expression, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}
+
+// refersTo reports whether any identifier inside e resolves to obj.
+func (p *Pass) refersTo(e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BigPrec enforces explicit big.Float working precision — the silent
+// 53-bit (big.NewFloat) or argument-derived default precision is exactly
+// the bug class the arbitrary-precision oracle exists to avoid. Three
+// violation classes:
+//
+//   - big.NewFloat(x): yields a 53-bit value; spell the precision with
+//     new(big.Float).SetPrec(p).SetFloat64(x);
+//   - a method chained directly onto a fresh value — new(big.Float).Add(...)
+//     or (&big.Float{}).Set(...) — without an interposed SetPrec: the
+//     result's precision is inherited from operands or defaulted, never
+//     stated;
+//   - a local big.Float (or a local initialized from new(big.Float) /
+//     &big.Float{}) whose first method use in the function precedes any
+//     SetPrec on it (source order approximates execution order).
+//
+// A site where the default is provably exact (e.g. an integer that fits
+// 53 bits, compared rather than computed with) may carry a //lint:ignore
+// bigprec stating that proof.
+var BigPrec = &Analyzer{
+	Name: "bigprec",
+	Doc:  "big.Float used in arithmetic before an explicit SetPrec",
+	Run:  runBigPrec,
+}
+
+func runBigPrec(p *Pass) []Diagnostic {
+	var diags []Diagnostic
+	p.inspect(func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if f := p.funcOf(x); f != nil && isPkgFunc(f, "math/big", "NewFloat") {
+				diags = append(diags, p.report("bigprec", x,
+					"big.NewFloat yields silent 53-bit precision; use new(big.Float).SetPrec(p).SetFloat64(...)"))
+			}
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name != "SetPrec" &&
+				isFreshBigFloat(p, sel.X) {
+				diags = append(diags, p.report("bigprec", x,
+					"%s called on a fresh big.Float before SetPrec; the working precision must be explicit", sel.Sel.Name))
+			}
+		case *ast.FuncDecl:
+			if x.Body != nil {
+				diags = append(diags, p.checkLocalBigFloats(x.Body)...)
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// isFreshBigFloat reports whether e is a zero-precision big.Float value
+// created in place: new(big.Float) or &big.Float{}.
+func isFreshBigFloat(p *Pass, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "new" {
+			return false
+		}
+		return len(x.Args) == 1 && isBigFloatType(p.Info.TypeOf(x.Args[0]))
+	case *ast.UnaryExpr:
+		cl, ok := x.X.(*ast.CompositeLit)
+		return ok && isBigFloatType(p.Info.TypeOf(cl)) && len(cl.Elts) == 0
+	case *ast.CompositeLit:
+		return isBigFloatType(p.Info.TypeOf(x)) && len(x.Elts) == 0
+	}
+	return false
+}
+
+// isBigFloatType reports whether t is math/big.Float (possibly behind a
+// pointer).
+func isBigFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "math/big" && obj.Name() == "Float"
+}
+
+// checkLocalBigFloats applies the source-order rule to locals of one
+// function body: a big.Float local declared without precision (var of value
+// type, or := new(big.Float) / &big.Float{}) must see SetPrec before any
+// other method.
+func (p *Pass) checkLocalBigFloats(body *ast.BlockStmt) []Diagnostic {
+	// Collect candidate locals: object → true while still precision-less.
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ValueSpec:
+			if len(x.Values) != 0 {
+				break
+			}
+			for _, name := range x.Names {
+				if obj := p.Info.Defs[name]; obj != nil && isBigFloatValueType(obj.Type()) {
+					fresh[obj] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				if i >= len(x.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Info.Defs[id]
+				if obj == nil || !isFreshBigFloat(p, x.Rhs[i]) {
+					continue
+				}
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	if len(fresh) == 0 {
+		return nil
+	}
+	// The first method call on each candidate, in source order (which
+	// approximates execution order for lint purposes), decides: SetPrec
+	// first clears the candidate, anything else is a finding.
+	var diags []Diagnostic
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil || !fresh[obj] {
+			return true
+		}
+		delete(fresh, obj) // first use decides; later uses are fine either way
+		if sel.Sel.Name != "SetPrec" {
+			diags = append(diags, p.report("bigprec", call,
+				"%s called on %q before SetPrec; the working precision must be explicit", sel.Sel.Name, obj.Name()))
+		}
+		return true
+	})
+	return diags
+}
+
+// isBigFloatValueType reports whether t is the big.Float value type (not a
+// pointer) — `var z big.Float` starts at precision 0.
+func isBigFloatValueType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "math/big" && obj.Name() == "Float"
+}

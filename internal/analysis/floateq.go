@@ -1,0 +1,89 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEq flags == and != between float32/float64 operands. In a correctly
+// rounded math library, float equality between two computed values is
+// either a bug (comparing rounded results that differ by an ulp) or a
+// deliberate bit-exact test that deserves a justification on the line.
+//
+// Two comparison shapes are exempt because they are sentinel idioms, not
+// arithmetic comparisons: a comparison where either operand is a
+// compile-time constant (x == 0, m == 0.5, lo == -math.MaxFloat64 — the
+// constant is a fixed bit pattern and the check is a structural dispatch),
+// and the integrality idiom x == math.Trunc(x) (and Floor/Ceil/Round),
+// whose result is exact by the definition of those functions.
+//
+// The bit-level helper home internal/fp is allowlisted wholesale: encoding,
+// rounding-boundary and representation checks there compare exact bit
+// patterns by design. Everywhere else a deliberate exact comparison —
+// merge keys that were stored rather than recomputed, interval endpoint
+// identity, simplex pivot entries — carries a //lint:ignore floateq (or a
+// file-level //lint:file-ignore floateq where exact comparison is the
+// file's whole point) stating why rounding cannot break it.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "==/!= on floating-point operands outside the bit-level helpers in internal/fp",
+	Run:  runFloatEq,
+}
+
+// floatEqAllowed lists packages (module-relative) whose job is bit-level
+// float manipulation; exact comparison there is the point.
+var floatEqAllowed = map[string]bool{"internal/fp": true}
+
+func runFloatEq(p *Pass) []Diagnostic {
+	if rel, ok := moduleRel(p.Module, p.Pkg.ImportPath); ok && floatEqAllowed[rel] {
+		return nil
+	}
+	var diags []Diagnostic
+	p.inspect(func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		tx, ty := p.Info.Types[be.X], p.Info.Types[be.Y]
+		if tx.Type == nil || ty.Type == nil || !isFloat(tx.Type) || !isFloat(ty.Type) {
+			return true
+		}
+		if tx.Value != nil || ty.Value != nil {
+			return true // sentinel comparison against a compile-time constant
+		}
+		if p.isIntegralityCall(be.X) || p.isIntegralityCall(be.Y) {
+			return true // x == math.Trunc(x) idiom: exact by definition
+		}
+		diags = append(diags, p.report("floateq", be,
+			"%s on computed floating-point operands; compare bit patterns via internal/fp, or justify the exact comparison with //lint:ignore floateq", be.Op))
+		return true
+	})
+	return diags
+}
+
+// integralityFuncs are the math functions whose results are exactly
+// integral, making equality against them the standard is-integer idiom.
+var integralityFuncs = map[string]bool{"Trunc": true, "Floor": true, "Ceil": true, "Round": true}
+
+// isIntegralityCall reports whether e is a direct call to
+// math.Trunc/Floor/Ceil/Round.
+func (p *Pass) isIntegralityCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	f := p.funcOf(call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == "math" && integralityFuncs[f.Name()]
+}
+
+// moduleRel returns the module-relative path of an import path ("" for the
+// root package) and whether ip belongs to the module.
+func moduleRel(m *Module, ip string) (string, bool) {
+	if ip == m.Path {
+		return "", true
+	}
+	if len(ip) > len(m.Path)+1 && ip[:len(m.Path)+1] == m.Path+"/" {
+		return ip[len(m.Path)+1:], true
+	}
+	return "", false
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden expect.txt files")
+
+// TestGolden type-checks each fixture under testdata/src against the real
+// module (so fixtures may import repro/internal/parallel etc.), runs the
+// analyzers named by the case, and compares the rendered findings against
+// the fixture's expect.txt. Run with -update to regenerate the goldens.
+func TestGolden(t *testing.T) {
+	mod, err := Load("../..")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	cases := []struct {
+		name      string
+		analyzers []*Analyzer
+		coeffPath bool // analyze the fixture as coefficient-path code
+	}{
+		{"mapiter", []*Analyzer{MapIter}, false},
+		{"seedrand", []*Analyzer{SeedRand}, false},
+		{"wallclock", []*Analyzer{WallClock}, true},
+		{"floateq", []*Analyzer{FloatEq}, false},
+		{"bigprec", []*Analyzer{BigPrec}, false},
+		{"poolcapture", []*Analyzer{PoolCapture}, false},
+		// The suppression fixtures run the full registry: suppressed holds
+		// one justified ignore per analyzer (golden is empty), badignore
+		// proves malformed directives are reported and suppress nothing.
+		{"suppressed", All(), true},
+		{"badignore", All(), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", tc.name)
+			pkg, err := mod.LoadDir(dir, path.Join(mod.Path, "fixture", tc.name))
+			if err != nil {
+				t.Fatalf("LoadDir(%s): %v", dir, err)
+			}
+			pkg.CoeffPath = tc.coeffPath
+			var b strings.Builder
+			for _, d := range RunPackage(mod, pkg, tc.analyzers) {
+				fmt.Fprintln(&b, d)
+			}
+			got := b.String()
+			golden := filepath.Join(dir, "expect.txt")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatalf("update %s: %v", golden, err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read %s (run with -update to create): %v", golden, err)
+			}
+			if got != string(want) {
+				t.Errorf("findings mismatch for %s\n--- got ---\n%s--- want ---\n%s", tc.name, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenFires is the acceptance guard behind the goldens: every
+// analyzer must report at least one finding on its dedicated fixture, and
+// the fully suppressed fixture must report none.
+func TestGoldenFires(t *testing.T) {
+	for _, a := range All() {
+		data, err := os.ReadFile(filepath.Join("testdata", "src", a.Name, "expect.txt"))
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		needle := "[" + a.Name + "]"
+		if !strings.Contains(string(data), needle) {
+			t.Errorf("fixture %s: golden has no %s finding", a.Name, needle)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join("testdata", "src", "suppressed", "expect.txt"))
+	if err != nil {
+		t.Fatalf("suppressed: %v", err)
+	}
+	if len(data) != 0 {
+		t.Errorf("suppressed fixture: golden should be empty, got:\n%s", data)
+	}
+}

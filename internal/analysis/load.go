@@ -1,0 +1,331 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Module is a loaded view of the Go module under analysis: every package
+// directory discovered under the module root, parsed and type-checked on
+// demand with a chained importer (module-local packages from source via
+// this loader, standard-library packages via go/importer's source mode).
+// Everything here is stdlib-only by design — the repo rule that rlibm-lint
+// itself enforces conventions on also applies to rlibm-lint.
+type Module struct {
+	Fset *token.FileSet
+	Path string // module path from go.mod (e.g. "repro")
+	Dir  string // absolute module root
+
+	dirs    map[string]string // import path → absolute directory
+	order   []string          // discovered import paths, sorted
+	pkgs    map[string]*Package
+	loading map[string]bool // cycle guard
+	std     types.Importer
+}
+
+// Package is one type-checked package plus everything the analyzers need.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// CoeffPath marks packages in the transitive import closure of the
+	// coefficient generators (internal/gen and internal/remez): wall-clock
+	// reads there could influence generated coefficients.
+	CoeffPath bool
+}
+
+// Load discovers the module containing dir. Packages are parsed and
+// type-checked lazily by Package / Packages / LoadDir.
+func Load(dir string) (*Module, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{
+		Fset:    token.NewFileSet(),
+		Path:    modPath,
+		Dir:     root,
+		dirs:    make(map[string]string),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	m.std = importer.ForCompiler(m.Fset, "source", nil)
+	if err := m.discover(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// findModule ascends from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, modPath string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: %s/go.mod has no module directive", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// discover walks the module tree and records every directory holding
+// non-test Go files. The usual tooling exclusions apply: hidden and
+// underscore-prefixed directories, testdata and vendor.
+func (m *Module) discover() error {
+	err := filepath.WalkDir(m.Dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != m.Dir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+				continue
+			}
+			rel, err := filepath.Rel(m.Dir, p)
+			if err != nil {
+				return err
+			}
+			ip := m.Path
+			if rel != "." {
+				ip = path.Join(m.Path, filepath.ToSlash(rel))
+			}
+			m.dirs[ip] = p
+			m.order = append(m.order, ip)
+			break
+		}
+		return nil
+	})
+	sort.Strings(m.order)
+	return err
+}
+
+// ImportPaths returns every discovered import path, sorted.
+func (m *Module) ImportPaths() []string { return append([]string(nil), m.order...) }
+
+// Packages loads every discovered package and returns them sorted by
+// import path, with CoeffPath marked.
+func (m *Module) Packages() ([]*Package, error) {
+	out := make([]*Package, 0, len(m.order))
+	for _, ip := range m.order {
+		p, err := m.Package(ip)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	m.markCoeffPath()
+	return out, nil
+}
+
+// Package loads (or returns the cached) package with the given module-local
+// import path.
+func (m *Module) Package(ip string) (*Package, error) {
+	if p, ok := m.pkgs[ip]; ok {
+		return p, nil
+	}
+	dir, ok := m.dirs[ip]
+	if !ok {
+		return nil, fmt.Errorf("analysis: package %s is not part of module %s", ip, m.Path)
+	}
+	if m.loading[ip] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", ip)
+	}
+	m.loading[ip] = true
+	defer delete(m.loading, ip)
+	p, err := m.check(ip, dir)
+	if err != nil {
+		return nil, err
+	}
+	m.pkgs[ip] = p
+	return p, nil
+}
+
+// LoadDir parses and type-checks an out-of-tree directory (a test fixture
+// under some testdata/) as a standalone package with the given synthetic
+// import path. Fixture files may import both the standard library and
+// module-local packages. The result is not cached and never participates
+// in CoeffPath marking — callers set that flag directly when a fixture
+// should be analyzed as coefficient-path code.
+func (m *Module) LoadDir(dir, importPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return m.check(importPath, abs)
+}
+
+// check parses every non-test Go file of dir and type-checks the package.
+func (m *Module) check(ip, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		// Positions are module-root-relative: they print compactly and are
+		// stable across checkouts (and in golden test files).
+		name := filepath.Join(dir, n)
+		if rel, err := filepath.Rel(m.Dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = filepath.ToSlash(rel)
+		}
+		f, err := parser.ParseFile(m.Fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: %s has no Go files", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(m.importPkg),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(ip, m.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", ip, typeErrs[0])
+	}
+	return &Package{ImportPath: ip, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// importPkg resolves an import encountered while type-checking: module-local
+// paths load recursively through this loader, everything else goes to the
+// standard library's source importer.
+func (m *Module) importPkg(ip string) (*types.Package, error) {
+	if ip == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if ip == m.Path || strings.HasPrefix(ip, m.Path+"/") {
+		p, err := m.Package(ip)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return m.std.Import(ip)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// coeffRoots are the packages whose output is generated coefficients; their
+// transitive module-local import closure is the "coefficient path" that the
+// wallclock analyzer polices.
+var coeffRoots = []string{"internal/gen", "internal/remez"}
+
+// markCoeffPath marks every loaded package reachable from the coefficient
+// generators (including the generators themselves) over module-local
+// imports.
+func (m *Module) markCoeffPath() {
+	seen := make(map[string]bool)
+	var mark func(ip string)
+	mark = func(ip string) {
+		if seen[ip] {
+			return
+		}
+		seen[ip] = true
+		p, ok := m.pkgs[ip]
+		if !ok {
+			return
+		}
+		p.CoeffPath = true
+		for _, imp := range p.Types.Imports() {
+			if strings.HasPrefix(imp.Path(), m.Path+"/") || imp.Path() == m.Path {
+				mark(imp.Path())
+			}
+		}
+	}
+	for _, r := range coeffRoots {
+		mark(path.Join(m.Path, r))
+	}
+}
+
+// Match filters the discovered import paths by command-line patterns:
+// "./..." (everything), "dir/..." (subtree) or "dir" (exact), with "./"
+// prefixes and a leading module-path prefix both accepted.
+func (m *Module) Match(patterns []string) []string {
+	if len(patterns) == 0 {
+		return m.ImportPaths()
+	}
+	var out []string
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		pat = strings.TrimPrefix(pat, m.Path+"/")
+		for _, ip := range m.order {
+			rel := strings.TrimPrefix(strings.TrimPrefix(ip, m.Path), "/")
+			if rel == "" {
+				rel = "."
+			}
+			match := false
+			switch {
+			case pat == "..." || pat == ".":
+				match = true
+			case strings.HasSuffix(pat, "/..."):
+				base := strings.TrimSuffix(pat, "/...")
+				match = rel == base || strings.HasPrefix(rel, base+"/")
+			default:
+				match = rel == pat
+			}
+			if match && !seen[ip] {
+				seen[ip] = true
+				out = append(out, ip)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIter flags `range` statements over maps whose body feeds an
+// order-dependent sink: appending to a slice declared outside the loop,
+// compound-assigning a float or string accumulator declared outside the
+// loop (float addition is not associative; string concatenation is not
+// commutative), printing through the fmt package, or sending on a channel.
+//
+// This is the classic nondeterminism leak the worker pool's shard-order
+// merge exists to prevent: Go randomizes map iteration order, so any such
+// loop makes output depend on the run, not just the input. Iterate a sorted
+// key slice instead, or merge into an order-independent structure (a map,
+// an integer counter, a max/min). A site that re-sorts its accumulator
+// before use may carry a //lint:ignore mapiter with that justification.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "map iteration feeding an order-dependent sink (append/float accumulation/output/channel)",
+	Run:  runMapIter,
+}
+
+func runMapIter(p *Pass) []Diagnostic {
+	var diags []Diagnostic
+	p.inspect(func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		diags = append(diags, p.mapIterSinks(rs)...)
+		return true
+	})
+	return diags
+}
+
+// mapIterSinks scans the body of a map-range statement for order-dependent
+// sinks.
+func (p *Pass) mapIterSinks(rs *ast.RangeStmt) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if i >= len(s.Lhs) {
+					break
+				}
+				if arg := appendTarget(rhs, p); arg != nil {
+					if id := rootIdent(arg); id != nil {
+						if obj := p.Info.Uses[id]; obj != nil && !declaredWithin(obj, rs.Body) {
+							diags = append(diags, p.report("mapiter", s,
+								"map iteration order feeds append to %q declared outside the loop; iterate sorted keys or sort the result before use", id.Name))
+						}
+					}
+				}
+			}
+			switch s.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				lhs := s.Lhs[0]
+				t := p.Info.TypeOf(lhs)
+				if t == nil || !(isFloat(t) || (isString(t) && s.Tok == token.ADD_ASSIGN)) {
+					break
+				}
+				if id := rootIdent(lhs); id != nil {
+					if obj := p.Info.Uses[id]; obj != nil && !declaredWithin(obj, rs.Body) {
+						kind := "float accumulation (addition is not associative)"
+						if isString(t) {
+							kind = "string concatenation"
+						}
+						diags = append(diags, p.report("mapiter", s,
+							"map iteration order feeds %s into %q; iterate sorted keys", kind, id.Name))
+					}
+				}
+			}
+		case *ast.SendStmt:
+			diags = append(diags, p.report("mapiter", s,
+				"map iteration order determines channel send order; iterate sorted keys"))
+		case *ast.CallExpr:
+			if f := p.funcOf(s); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" &&
+				(strings.HasPrefix(f.Name(), "Print") || strings.HasPrefix(f.Name(), "Fprint")) {
+				diags = append(diags, p.report("mapiter", s,
+					"map iteration order determines fmt.%s output order; iterate sorted keys", f.Name()))
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// appendTarget returns the first argument of a builtin append call, or nil.
+func appendTarget(e ast.Expr, p *Pass) ast.Expr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil
+	}
+	return call.Args[0]
+}

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+)
+
+// PoolCapture is a heuristic race detector for parallel.ForEach worker
+// closures — the class of bug -race only finds when the schedule
+// cooperates. Inside the func(i int) literal handed to ForEach, a write to
+// a variable captured from the enclosing scope is flagged unless the write
+// targets the worker's claimed index slot: an element of a slice or array
+// indexed by an expression involving the closure parameter (out[i] = ...,
+// per[s].field = ...). Writes to locals declared inside the closure are
+// always fine; so are channel sends (channels synchronize).
+//
+// Map element writes are never safe here even with distinct keys —
+// concurrent map writes race structurally — so they are flagged like any
+// other captured write. State that genuinely needs cross-worker sharing
+// belongs in atomics or behind a mutex, with a //lint:ignore poolcapture
+// naming the synchronization.
+var PoolCapture = &Analyzer{
+	Name: "poolcapture",
+	Doc:  "write to a captured variable inside a parallel.ForEach worker that is not the claimed index slot",
+	Run:  runPoolCapture,
+}
+
+func runPoolCapture(p *Pass) []Diagnostic {
+	forEachPath := path.Join(p.Module.Path, "internal/parallel")
+	var diags []Diagnostic
+	p.inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := p.funcOf(call)
+		if f == nil || !isPkgFunc(f, forEachPath, "ForEach") || len(call.Args) != 3 {
+			return true
+		}
+		fl, ok := ast.Unparen(call.Args[2]).(*ast.FuncLit)
+		if !ok {
+			return true // a named worker func: out of heuristic reach
+		}
+		params := fl.Type.Params.List
+		if len(params) != 1 || len(params[0].Names) != 1 {
+			return true
+		}
+		paramObj := p.Info.Defs[params[0].Names[0]]
+		diags = append(diags, p.checkWorkerBody(fl, paramObj)...)
+		return true
+	})
+	return diags
+}
+
+// checkWorkerBody flags captured-variable writes inside one worker closure.
+func (p *Pass) checkWorkerBody(fl *ast.FuncLit, paramObj types.Object) []Diagnostic {
+	var diags []Diagnostic
+	flag := func(stmt ast.Node, lhs ast.Expr) {
+		if ok, name := p.allowedWorkerLHS(fl, paramObj, lhs); !ok {
+			diags = append(diags, p.report("poolcapture", stmt,
+				"worker closure writes to captured %q outside its claimed index slot; route results through a per-index slot, an atomic, or a mutex", name))
+		}
+	}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if id.Name == "_" {
+						continue
+					}
+					if _, isDef := p.Info.Defs[id]; isDef {
+						continue // new variable in :=
+					}
+				}
+				flag(s, lhs)
+			}
+		case *ast.IncDecStmt:
+			flag(s, s.X)
+		}
+		return true
+	})
+	return diags
+}
+
+// allowedWorkerLHS decides whether an assignment target inside a worker
+// closure is safe, returning the offending root variable name otherwise.
+// Safe shapes: any path through a slice/array element indexed by the
+// closure parameter (the claimed slot), or a root variable declared inside
+// the closure.
+func (p *Pass) allowedWorkerLHS(fl *ast.FuncLit, paramObj types.Object, lhs ast.Expr) (bool, string) {
+	e := lhs
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := p.Info.Uses[x]
+			if obj == nil || declaredWithin(obj, fl) {
+				return true, ""
+			}
+			return false, x.Name
+		case *ast.IndexExpr:
+			if paramObj != nil && p.refersTo(x.Index, paramObj) {
+				t := p.Info.TypeOf(x.X)
+				if t != nil {
+					switch u := t.Underlying().(type) {
+					case *types.Slice, *types.Array:
+						return true, "" // the worker's claimed slot
+					case *types.Pointer:
+						if _, isArr := u.Elem().Underlying().(*types.Array); isArr {
+							return true, ""
+						}
+					}
+				}
+			}
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			// Unrecognized lvalue shape (call result dereference, ...):
+			// stay conservative and flag it.
+			return false, "expression"
+		}
+	}
+}

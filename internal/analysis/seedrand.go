@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SeedRand enforces the deterministic-seeding contract of the generation
+// and solve paths: every random draw must come from a *rand.Rand whose seed
+// derives from the run's Seed option (gen derives one stream per (Seed,
+// function, kernel, piece) through pieceSeed). Two violation classes:
+//
+//   - any use of math/rand's package-level draw functions (Intn, Float64,
+//     Shuffle, ...) — they share the process-global source, whose draws
+//     interleave nondeterministically across goroutines;
+//   - a rand.NewSource / rand/v2 generator whose seed argument is neither a
+//     constant nor visibly derived from the seed scheme (no referenced
+//     identifier mentions "seed"), or that reads the clock via the time
+//     package.
+//
+// The derivation check is a heuristic (static analysis cannot trace the
+// value): it accepts any argument that mentions a seed-named identifier and
+// rejects clock reads outright.
+var SeedRand = &Analyzer{
+	Name: "seedrand",
+	Doc:  "global math/rand source, or RNG seed not derived from the deterministic seed scheme",
+	Run:  runSeedRand,
+}
+
+// randCtors are the math/rand package functions that construct generators
+// rather than drawing from the global source.
+var randCtors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// seededCtors take the seed material directly as arguments.
+var seededCtors = map[string]bool{"NewSource": true, "NewPCG": true, "NewChaCha8": true}
+
+func runSeedRand(p *Pass) []Diagnostic {
+	var diags []Diagnostic
+	p.inspect(func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if f := p.funcOf(call); f != nil && f.Pkg() != nil && seededCtors[f.Name()] &&
+				(f.Pkg().Path() == "math/rand" || f.Pkg().Path() == "math/rand/v2") {
+				diags = append(diags, p.checkSeedArgs(call, f.Name())...)
+			}
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if pkg := fn.Pkg().Path(); pkg != "math/rand" && pkg != "math/rand/v2" {
+			return true
+		}
+		// Package-level draw functions only: methods on *rand.Rand have a
+		// receiver and are exactly what the contract asks callers to use.
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true
+		}
+		if randCtors[fn.Name()] {
+			return true
+		}
+		obj := fn
+		diags = append(diags, p.report("seedrand", sel,
+			"%s.%s draws from the process-global source; use a *rand.Rand seeded from the deterministic (Seed, function, kernel, piece) scheme", obj.Pkg().Name(), obj.Name()))
+		return true
+	})
+	return diags
+}
+
+// checkSeedArgs validates the seed material of a generator constructor.
+func (p *Pass) checkSeedArgs(call *ast.CallExpr, ctor string) []Diagnostic {
+	var diags []Diagnostic
+	for _, arg := range call.Args {
+		if p.mentionsTimePkg(arg) {
+			diags = append(diags, p.report("seedrand", call,
+				"rand.%s seeded from the clock; seeds must derive from the deterministic seed scheme", ctor))
+			return diags
+		}
+	}
+	ok := true
+	for _, arg := range call.Args {
+		if tv, found := p.Info.Types[arg]; found && tv.Value != nil {
+			continue // constant seed: deterministic by construction
+		}
+		if p.mentionsSeedIdent(arg) {
+			continue // visibly derived from the seed scheme
+		}
+		ok = false
+	}
+	if !ok && len(call.Args) > 0 {
+		diags = append(diags, p.report("seedrand", call,
+			"rand.%s seed is neither constant nor visibly derived from the deterministic seed scheme (no referenced identifier mentions \"seed\")", ctor))
+	}
+	return diags
+}
+
+// mentionsTimePkg reports whether e references anything from package time.
+func (p *Pass) mentionsTimePkg(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// mentionsSeedIdent reports whether any identifier referenced by e (a
+// variable, field, or function such as pieceSeed) has "seed" in its name.
+func (p *Pass) mentionsSeedIdent(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(x.Name), "seed") {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if strings.Contains(strings.ToLower(x.Sel.Name), "seed") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

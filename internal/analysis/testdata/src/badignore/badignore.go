@@ -1,0 +1,18 @@
+// Package badignore exercises malformed suppressions: a directive without a
+// justification or naming an unknown analyzer is itself reported and
+// suppresses nothing.
+package badignore
+
+import "math/big"
+
+func bad(x float64) {
+	//lint:ignore bigprec
+	_ = big.NewFloat(x)
+
+	//lint:ignore nosuchanalyzer because I said so
+	_ = big.NewFloat(x)
+
+	//lint:file-ignore floateq
+	a := x * 2
+	_ = a == x
+}

@@ -1,0 +1,22 @@
+// Package bigprec exercises the bigprec analyzer: big.NewFloat, methods
+// chained onto fresh values, and locals used before SetPrec are flagged;
+// precision-explicit code is not.
+package bigprec
+
+import "math/big"
+
+func bad(x float64) *big.Float {
+	v := big.NewFloat(x)
+	w := new(big.Float).Add(v, v)
+	var z big.Float
+	z.Add(w, w)
+	return &z
+}
+
+func good(x float64, prec uint) *big.Float {
+	v := new(big.Float).SetPrec(prec).SetFloat64(x)
+	var z big.Float
+	z.SetPrec(prec)
+	z.Add(v, v)
+	return &z
+}

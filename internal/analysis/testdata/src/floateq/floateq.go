@@ -1,0 +1,20 @@
+// Package floateq exercises the floateq analyzer: equality between
+// computed float operands is flagged; constant sentinels and the
+// integrality idiom are exempt.
+package floateq
+
+import "math"
+
+func compare(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return a != b*2
+}
+
+func sentinels(x, m float64) bool {
+	if x == 0 || m == 0.5 {
+		return true
+	}
+	return x == math.Trunc(x)
+}

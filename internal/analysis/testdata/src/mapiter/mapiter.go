@@ -1,0 +1,33 @@
+// Package mapiter exercises the mapiter analyzer: sinks whose result
+// depends on map iteration order are flagged, order-independent merges are
+// not.
+package mapiter
+
+import "fmt"
+
+func bad(set map[uint64]bool, out chan uint64) ([]uint64, float64) {
+	var keys []uint64
+	var sum float64
+	for b := range set {
+		keys = append(keys, b)
+		sum += float64(b)
+		out <- b
+		fmt.Println(b)
+	}
+	return keys, sum
+}
+
+func good(set map[uint64]bool) (int, uint64) {
+	n := 0
+	var best uint64
+	for b := range set {
+		n++
+		if b > best {
+			best = b
+		}
+		local := []uint64{b}
+		local = append(local, b)
+		_ = local
+	}
+	return n, best
+}

@@ -1,0 +1,22 @@
+// Package poolcapture exercises the poolcapture analyzer: writes inside a
+// parallel.ForEach worker are allowed only to the claimed index slot or
+// closure locals.
+package poolcapture
+
+import "repro/internal/parallel"
+
+func fan(vals []float64) ([]float64, float64) {
+	out := make([]float64, len(vals))
+	var sum float64
+	counts := map[int]int{}
+	parallel.ForEach(4, len(vals), func(i int) {
+		out[i] = vals[i] * 2
+		local := vals[i]
+		local *= 2
+		_ = local
+		sum += vals[i]
+		counts[i]++
+	})
+	_ = counts
+	return out, sum
+}

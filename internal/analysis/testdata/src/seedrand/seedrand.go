@@ -1,0 +1,21 @@
+// Package seedrand exercises the seedrand analyzer: global draws and
+// clock-derived or opaque seeds are flagged; constant seeds, seed-scheme
+// derivations and *rand.Rand methods are not.
+package seedrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func draws(seed int64) []*rand.Rand {
+	_ = rand.Intn(10)
+	rand.Shuffle(3, func(i, j int) {})
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(rand.NewSource(seed ^ 0x9e3779b9))
+	c := rand.New(rand.NewSource(time.Now().UnixNano()))
+	n := int64(3)
+	d := rand.New(rand.NewSource(n))
+	_ = a.Intn(5)
+	return []*rand.Rand{a, b, c, d}
+}

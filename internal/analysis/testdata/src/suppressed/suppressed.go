@@ -1,0 +1,41 @@
+// Package suppressed carries one justified //lint:ignore per analyzer; the
+// golden expectation is empty because every violation is suppressed.
+package suppressed
+
+import (
+	"math/big"
+	"math/rand"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+func quiet(set map[int]bool, vals, out []float64) {
+	var keys []int
+	for k := range set {
+		//lint:ignore mapiter keys are fully sorted by the caller before use.
+		keys = append(keys, k)
+	}
+	_ = keys
+
+	//lint:ignore seedrand fixture demonstrates a justified global draw.
+	_ = rand.Intn(3)
+
+	//lint:ignore wallclock duration statistic only; never feeds a coefficient.
+	_ = time.Now()
+
+	a, b := vals[0], vals[1]
+	//lint:ignore floateq operands are stored bit patterns, never recomputed.
+	_ = a == b
+
+	//lint:ignore bigprec 53 bits is provably exact for this integer literal.
+	_ = big.NewFloat(1)
+
+	var sum float64
+	parallel.ForEach(2, len(vals), func(i int) {
+		out[i] = vals[i]
+		//lint:ignore poolcapture fixture demonstrates a justified captured write.
+		sum += vals[i]
+	})
+	_ = sum
+}

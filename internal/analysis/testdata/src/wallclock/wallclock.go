@@ -1,0 +1,15 @@
+// Package wallclock exercises the wallclock analyzer; the test marks this
+// fixture as coefficient-path code, so every clock read is a finding while
+// clock-free time arithmetic is not.
+package wallclock
+
+import "time"
+
+func timed() time.Duration {
+	start := time.Now()
+	d := time.Since(start)
+	deadline := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	_ = time.Until(deadline)
+	_ = deadline.Add(time.Hour)
+	return d
+}

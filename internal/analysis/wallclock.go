@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock flags clock reads — time.Now, time.Since, time.Until — in any
+// package on the coefficient path: the transitive module-local import
+// closure of the coefficient generators (internal/gen and internal/remez),
+// computed from the real import graph at load time rather than hardcoded.
+//
+// Generated coefficient tables are committed and regenerated from fixed
+// seeds; a wall-clock value flowing into enumeration, solving or rounding
+// would silently break that reproducibility. Progress/duration reporting
+// that provably never feeds a coefficient may carry a //lint:ignore
+// wallclock with that justification. Packages outside the coefficient path
+// (commands, verification, benchmarks) may time freely.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "clock read in a package on the generated-coefficient path",
+	Run:  runWallClock,
+}
+
+// clockFuncs are the package-level time functions that read the wall or
+// monotonic clock.
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWallClock(p *Pass) []Diagnostic {
+	if !p.Pkg.CoeffPath {
+		return nil
+	}
+	var diags []Diagnostic
+	p.inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !clockFuncs[fn.Name()] {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			return true
+		}
+		diags = append(diags, p.report("wallclock", sel,
+			"time.%s in coefficient-path package %s: wall-clock values must not influence generated coefficients", fn.Name(), p.Pkg.ImportPath))
+		return true
+	})
+	return diags
+}

@@ -67,14 +67,14 @@ func computeLog10Of2(prec uint) *big.Float {
 // atanhRecip returns atanh(1/q) = Σ_{k≥0} (1/q)^(2k+1)/(2k+1) for integer
 // q ≥ 2, computed at working precision w.
 func atanhRecip(q int64, w uint) *big.Float {
-	t := new(big.Float).SetPrec(w).Quo(one(w), big.NewFloat(float64(q)).SetPrec(w))
+	t := new(big.Float).SetPrec(w).Quo(one(w), new(big.Float).SetPrec(w).SetInt64(q))
 	t2 := new(big.Float).SetPrec(w).Mul(t, t)
 	sum := new(big.Float).SetPrec(w).Set(t)
 	term := new(big.Float).SetPrec(w).Set(t)
 	tmp := new(big.Float).SetPrec(w)
 	for k := int64(1); ; k++ {
 		term.Mul(term, t2)
-		tmp.Quo(term, big.NewFloat(float64(2*k+1)).SetPrec(w))
+		tmp.Quo(term, new(big.Float).SetPrec(w).SetInt64(2*k+1))
 		if tmp.MantExp(nil)-sum.MantExp(nil) < -int(w)-4 {
 			break
 		}
@@ -85,7 +85,7 @@ func atanhRecip(q int64, w uint) *big.Float {
 
 // atanRecip returns atan(1/q) = Σ_{k≥0} (-1)^k (1/q)^(2k+1)/(2k+1).
 func atanRecip(q int64, w uint) *big.Float {
-	t := new(big.Float).SetPrec(w).Quo(one(w), big.NewFloat(float64(q)).SetPrec(w))
+	t := new(big.Float).SetPrec(w).Quo(one(w), new(big.Float).SetPrec(w).SetInt64(q))
 	t2 := new(big.Float).SetPrec(w).Mul(t, t)
 	sum := new(big.Float).SetPrec(w).Set(t)
 	term := new(big.Float).SetPrec(w).Set(t)
@@ -93,7 +93,7 @@ func atanRecip(q int64, w uint) *big.Float {
 	for k := int64(1); ; k++ {
 		term.Mul(term, t2)
 		term.Neg(term)
-		tmp.Quo(term, big.NewFloat(float64(2*k+1)).SetPrec(w))
+		tmp.Quo(term, new(big.Float).SetPrec(w).SetInt64(2*k+1))
 		if tmp.MantExp(nil)-sum.MantExp(nil) < -int(w)-4 {
 			break
 		}

@@ -1,0 +1,33 @@
+package bigmath
+
+import (
+	"math/big"
+	"testing"
+)
+
+// TestConstantsHighPrecision pins the atanh/atan series constants at the
+// 140-bit working precision the double-double kernel tables are built from.
+// The series helpers were rewritten to seed their integer terms with
+// SetInt64 under an explicit precision instead of big.NewFloat; these
+// references (50+ decimal digits, well beyond 140 bits) prove the rewrite
+// left every bit unchanged.
+func TestConstantsHighPrecision(t *testing.T) {
+	cases := []struct {
+		name    string
+		got     *big.Float
+		decimal string
+	}{
+		{"ln2", Ln2(140), "0.69314718055994530941723212145817656807550013436025525412068"},
+		{"ln10", Ln10(140), "2.3025850929940456840179914546843642076011014886287729760333"},
+		{"log10(2)", Log10Of2(140), "0.30102999566398119521373889472449302676818988146210854131042"},
+	}
+	for _, tc := range cases {
+		want, _, err := big.ParseFloat(tc.decimal, 10, 140, big.ToNearestEven)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.got.Cmp(want) != 0 {
+			t.Errorf("%s at 140 bits = %v, want %v", tc.name, tc.got, want)
+		}
+	}
+}

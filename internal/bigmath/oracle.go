@@ -100,7 +100,7 @@ func ExactValue(f Func, x float64) (*big.Float, bool) {
 			k := math.Round(math.Log10(x))
 			if k >= 0 && k < 40 {
 				p := new(big.Int).Exp(big.NewInt(10), big.NewInt(int64(k)), nil)
-				if v := new(big.Float).SetPrec(uint(p.BitLen()) + 1).SetInt(p); v.Cmp(big.NewFloat(x)) == 0 {
+				if v := new(big.Float).SetPrec(uint(p.BitLen()) + 1).SetInt(p); v.Cmp(new(big.Float).SetPrec(53).SetFloat64(x)) == 0 {
 					return new(big.Float).SetPrec(64).SetInt64(int64(k)), true
 				}
 			}

@@ -297,7 +297,7 @@ func solveSample(rows []Row, idx []int, k int, cfg Config) (coeffs []float64, us
 			// remainder with the leading inequality rows.
 			capped := make([]lp.Constraint, 0, exactRowCap)
 			for _, c := range ep.Constraints {
-				if c.Lo == c.Hi {
+				if c.IsEquality() {
 					capped = append(capped, c)
 				}
 			}
@@ -305,7 +305,7 @@ func solveSample(rows []Row, idx []int, k int, cfg Config) (coeffs []float64, us
 				if len(capped) >= exactRowCap {
 					break
 				}
-				if c.Lo != c.Hi {
+				if !c.IsEquality() {
 					capped = append(capped, c)
 				}
 			}
@@ -316,7 +316,7 @@ func solveSample(rows []Row, idx []int, k int, cfg Config) (coeffs []float64, us
 	}
 	hasEquality := false
 	for _, c := range prob.Constraints {
-		if c.Lo == c.Hi {
+		if c.IsEquality() {
 			hasEquality = true
 			break
 		}

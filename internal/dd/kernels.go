@@ -33,7 +33,7 @@ var (
 
 func toDD(v *big.Float) DD {
 	hi, _ := v.Float64()
-	rest := new(big.Float).SetPrec(v.Prec()).Sub(v, new(big.Float).SetFloat64(hi))
+	rest := new(big.Float).SetPrec(v.Prec()).Sub(v, new(big.Float).SetPrec(53).SetFloat64(hi))
 	lo, _ := rest.Float64()
 	return DD{hi, lo}
 }
@@ -76,22 +76,22 @@ func init() {
 	log102DD = toDD(bigmath.Log10Of2(140))
 	pi140 := bigmath.Pi(140)
 	piDD = toDD(pi140)
-	inv := new(big.Float).SetPrec(140).Quo(big.NewFloat(1).SetPrec(140), bigmath.Ln2(140))
+	inv := new(big.Float).SetPrec(140).Quo(new(big.Float).SetPrec(140).SetInt64(1), bigmath.Ln2(140))
 	log2eDD = toDD(inv)
-	inv10 := new(big.Float).SetPrec(140).Quo(big.NewFloat(1).SetPrec(140), bigmath.Ln10(140))
+	inv10 := new(big.Float).SetPrec(140).Quo(new(big.Float).SetPrec(140).SetInt64(1), bigmath.Ln10(140))
 	invLn10DD = toDD(inv10)
 
-	q := new(big.Float).SetPrec(140).Quo(bigmath.Ln2(140), big.NewFloat(64).SetPrec(140))
+	q := new(big.Float).SetPrec(140).Quo(bigmath.Ln2(140), new(big.Float).SetPrec(140).SetInt64(64))
 	qf, _ := q.Float64()
 	ln2o64Hi = round32(qf)
-	rest := new(big.Float).SetPrec(140).Sub(q, new(big.Float).SetFloat64(ln2o64Hi))
+	rest := new(big.Float).SetPrec(140).Sub(q, new(big.Float).SetPrec(53).SetFloat64(ln2o64Hi))
 	ln2o64Lo, _ = rest.Float64()
 	invLn2x64 = 64 / (ln2DD.Hi)
 
-	q = new(big.Float).SetPrec(140).Quo(bigmath.Log10Of2(140), big.NewFloat(64).SetPrec(140))
+	q = new(big.Float).SetPrec(140).Quo(bigmath.Log10Of2(140), new(big.Float).SetPrec(140).SetInt64(64))
 	qf, _ = q.Float64()
 	lg2o64Hi = round32(qf)
-	rest = new(big.Float).SetPrec(140).Sub(q, new(big.Float).SetFloat64(lg2o64Hi))
+	rest = new(big.Float).SetPrec(140).Sub(q, new(big.Float).SetPrec(53).SetFloat64(lg2o64Hi))
 	lg2o64Lo, _ = rest.Float64()
 	invLg2x64 = 64 / log102DD.Hi
 }

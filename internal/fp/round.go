@@ -248,7 +248,7 @@ func (f Format) FromBig(x *big.Float, m Mode) uint64 {
 
 	// mag = mant * 2^(exp - prec) with mant an integer of exactly prec bits
 	// (leading bit set).
-	mantf := new(big.Float)
+	mantf := new(big.Float).SetPrec(mag.Prec())
 	exp := mag.MantExp(mantf) // mag = mantf * 2^exp, mantf in [0.5,1)
 	p0 := f.MantBits()
 	if exp >= f.EMax()+2 {

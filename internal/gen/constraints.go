@@ -251,6 +251,7 @@ func buildConstraints(fn bigmath.Func, scheme reduction.Scheme, orc *oracle.Orac
 		// owned by every integer input) stay as equality constraints.
 		kept := lc.merged[:0]
 		for _, m := range lc.merged {
+			//lint:ignore floateq lo and hi are stored merged bounds; identical bits mark an equality row.
 			if m.lo == m.hi && m.inputs <= 2 {
 				evicted[u] = append(evicted[u], lc.inputsOfRow(m.r)...)
 				continue
@@ -277,6 +278,7 @@ func mergeRaw(raw []rawConstraint, evict func(xbits uint64)) []mergedRow {
 	for i < len(raw) {
 		j := i
 		row := mergedRow{r: raw[i].r, lo: raw[i].lo, hi: raw[i].hi, inputs: 1}
+		//lint:ignore floateq rows sharing one reduced input carry identical stored bits; the merge groups by that exact key.
 		for j++; j < len(raw) && raw[j].r == row.r; j++ {
 			lo := math.Max(row.lo, raw[j].lo)
 			hi := math.Min(row.hi, raw[j].hi)
@@ -299,6 +301,7 @@ func mergeRaw(raw []rawConstraint, evict func(xbits uint64)) []mergedRow {
 func (lc *levelConstraints) inputsOfRow(r float64) []uint64 {
 	lo := sort.Search(len(lc.raw), func(i int) bool { return lc.raw[i].r >= r })
 	var out []uint64
+	//lint:ignore floateq r is a stored row key re-presented verbatim; the scan matches its exact bits.
 	for i := lo; i < len(lc.raw) && lc.raw[i].r == r; i++ {
 		out = append(out, lc.raw[i].xbits)
 	}

@@ -62,6 +62,7 @@ func (res *Result) Eval(x float64, li int, out fp.Format, mode fp.Mode) uint64 {
 	}
 	if sp := res.Specials[li]; len(sp) > 0 {
 		i := sort.Search(len(sp), func(i int) bool { return sp[i].X >= x })
+		//lint:ignore floateq special-table keys store the exact input bits; the lookup hit test is bit-exact by construction.
 		if i < len(sp) && sp[i].X == x {
 			return out.FromFloat64(sp[i].Proxy, mode)
 		}
@@ -84,6 +85,7 @@ func (res *Result) EvalValue(x float64, li int) float64 {
 	}
 	if sp := res.Specials[li]; len(sp) > 0 {
 		i := sort.Search(len(sp), func(i int) bool { return sp[i].X >= x })
+		//lint:ignore floateq special-table keys store the exact input bits; the lookup hit test is bit-exact by construction.
 		if i < len(sp) && sp[i].X == x {
 			return sp[i].Proxy
 		}
@@ -184,6 +186,7 @@ func (res *Result) NumSpecials() []int {
 func (res *Result) AddSpecial(li int, x, proxy float64) {
 	sp := res.Specials[li]
 	i := sort.Search(len(sp), func(i int) bool { return sp[i].X >= x })
+	//lint:ignore floateq special-table keys store the exact input bits; the lookup hit test is bit-exact by construction.
 	if i < len(sp) && sp[i].X == x {
 		sp[i].Proxy = proxy
 		return

@@ -1,0 +1,34 @@
+package gen
+
+import (
+	"math"
+	"strconv"
+	"testing"
+)
+
+// TestHexFloatSpecials pins the emitted source forms for special values.
+// The NaN arm was rewritten from the v != v idiom to math.IsNaN; every
+// special and a round-trippable finite value must render unchanged.
+func TestHexFloatSpecials(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{math.NaN(), "math.NaN()"},
+		{0, "0"},
+		{math.Copysign(0, -1), "math.Copysign(0, -1)"},
+	}
+	for _, tc := range cases {
+		if got := hexFloat(tc.v); got != tc.want {
+			t.Errorf("hexFloat(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+	// A finite value renders as a hex literal that parses back bit-exactly.
+	for _, v := range []float64{1.5, math.Pi, -0x1p-1074, math.MaxFloat64} {
+		s := hexFloat(v)
+		back, err := strconv.ParseFloat(s, 64)
+		if err != nil || math.Float64bits(back) != math.Float64bits(v) {
+			t.Errorf("hexFloat(%v) = %q does not round-trip (%v)", v, s, err)
+		}
+	}
+}

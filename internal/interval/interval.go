@@ -34,7 +34,10 @@ func (iv Interval) Intersect(other Interval) Interval {
 }
 
 // Singleton reports whether the interval holds exactly one value.
-func (iv Interval) Singleton() bool { return iv.Lo == iv.Hi }
+func (iv Interval) Singleton() bool {
+	//lint:ignore floateq endpoint identity on stored bounds is the definition of a singleton, not arithmetic.
+	return iv.Lo == iv.Hi
+}
 
 // openAbove returns the largest double strictly below v.
 func openBelow(v float64) float64 { return math.Nextafter(v, math.Inf(-1)) }

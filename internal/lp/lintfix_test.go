@@ -1,0 +1,30 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestIsEquality pins the centralized equality-row test: IsEquality must
+// agree with the documented lo == hi convention for finite rows, two-sided
+// rows, and the one-sided infinite bounds the solvers special-case.
+func TestIsEquality(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		lo, hi float64
+		want   bool
+	}{
+		{1.5, 1.5, true},
+		{0, 0, true},
+		{-2, 2, false},
+		{-inf, 3, false},
+		{3, inf, false},
+		{-inf, inf, false},
+	}
+	for _, tc := range cases {
+		c := Constraint{Lo: tc.lo, Hi: tc.hi}
+		if got := c.IsEquality(); got != tc.want {
+			t.Errorf("Constraint{Lo: %v, Hi: %v}.IsEquality() = %v, want %v", tc.lo, tc.hi, got, tc.want)
+		}
+	}
+}

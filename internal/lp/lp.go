@@ -28,6 +28,14 @@ type Constraint struct {
 	Lo, Hi float64
 }
 
+// IsEquality reports whether the row pins coeffs·x to a single value.
+// Lo and Hi are stored bounds, never recomputed, so comparing them exactly
+// is the definition of an equality row rather than a rounding hazard.
+func (c Constraint) IsEquality() bool {
+	//lint:ignore floateq Lo and Hi are stored endpoints; identical bits mark an equality row by construction.
+	return c.Lo == c.Hi
+}
+
 // Problem is a collection of constraints over NumVars unknowns.
 type Problem struct {
 	NumVars     int
@@ -99,7 +107,7 @@ func (p Problem) MeasuredMargin(x []float64) float64 {
 		var mi float64
 		w := c.width()
 		switch {
-		case c.Lo == c.Hi:
+		case c.IsEquality():
 			scale := math.Max(math.Abs(c.Lo), 1)
 			if math.Abs(v-c.Lo) <= 1e-12*scale {
 				mi = 1

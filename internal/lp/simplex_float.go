@@ -35,7 +35,7 @@ func SolveMaxMargin(p Problem) (Solution, error) {
 	}
 	for _, con := range p.Constraints {
 		w := con.width()
-		if con.Lo == con.Hi {
+		if con.IsEquality() {
 			// Equality: single row, no slack, no margin term.
 			c := make([]float64, nStruct)
 			for j := 0; j < k; j++ {

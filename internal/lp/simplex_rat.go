@@ -44,7 +44,7 @@ func SolveMaxMarginExact(p Problem) (Solution, error) {
 	}
 	for _, con := range p.Constraints {
 		w := con.width()
-		if con.Lo == con.Hi {
+		if con.IsEquality() {
 			rows = append(rows, row{coef: structRow(con.Coeffs, 0, 1), slack: 0, rhs: ratOf(con.Lo)})
 			continue
 		}

@@ -111,8 +111,8 @@ func SplitAffine(tp TwoPoly, ctx Ctx, y0s, y1s *big.Float, iv interval.Interval)
 	t.Mul(t, y1s)
 	c.Add(c, t)
 
-	dLo := new(big.Float).SetPrec(prec).Sub(c, new(big.Float).SetFloat64(lo))
-	dHi := new(big.Float).SetPrec(prec).Sub(new(big.Float).SetFloat64(hi), c)
+	dLo := new(big.Float).SetPrec(prec).Sub(c, new(big.Float).SetPrec(53).SetFloat64(lo))
+	dHi := new(big.Float).SetPrec(prec).Sub(new(big.Float).SetPrec(53).SetFloat64(hi), c)
 	slackLo, _ := dLo.Float64()
 	slackHi, _ := dHi.Float64()
 

@@ -87,7 +87,7 @@ func (s sinhCoshScheme) Affine(ctx Ctx) (sign, a, b float64) {
 
 func (s sinhCoshScheme) Kernels(r float64, prec uint) (*big.Float, *big.Float) {
 	if r == 0 {
-		return big.NewFloat(1).SetPrec(prec), new(big.Float).SetPrec(prec)
+		return new(big.Float).SetPrec(prec).SetInt64(1), new(big.Float).SetPrec(prec)
 	}
 	return bigmath.Eval(bigmath.Cosh, r, prec), bigmath.Eval(bigmath.Sinh, r, prec)
 }

@@ -105,7 +105,7 @@ func (s sinCosPiScheme) Affine(ctx Ctx) (sign, a, b float64) {
 
 func (s sinCosPiScheme) Kernels(r float64, prec uint) (*big.Float, *big.Float) {
 	if r == 0 {
-		return big.NewFloat(1).SetPrec(prec), new(big.Float).SetPrec(prec)
+		return new(big.Float).SetPrec(prec).SetInt64(1), new(big.Float).SetPrec(prec)
 	}
 	return bigmath.Eval(bigmath.CosPi, r, prec), bigmath.Eval(bigmath.SinPi, r, prec)
 }

@@ -127,7 +127,7 @@ func hiLoSplit(c *big.Float, div int64) (hi, lo float64) {
 	q := new(big.Float).SetPrec(128).Quo(c, new(big.Float).SetPrec(128).SetInt64(div))
 	qf, _ := q.Float64()
 	hi = round32(qf)
-	rest := new(big.Float).SetPrec(128).Sub(q, new(big.Float).SetFloat64(hi))
+	rest := new(big.Float).SetPrec(128).Sub(q, new(big.Float).SetPrec(53).SetFloat64(hi))
 	lo, _ = rest.Float64()
 	return hi, lo
 }
