@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check test race bench bench-parallel vet build lint
+.PHONY: check test race bench bench-parallel bench-pipeline vet build lint
 
 check:
 	@echo '== vet =='
@@ -41,3 +41,8 @@ bench:
 # Serial-vs-parallel scaling of the enumeration and verification pipelines.
 bench-parallel:
 	$(GO) test -bench 'Enumerate|VerifyExhaustive' -run '^$$' .
+
+# Cold vs warm artifact-cache cost of the staged pipeline (the numbers
+# behind BENCH_pipeline.json).
+bench-pipeline:
+	$(GO) test -bench 'Pipeline' -run '^$$' -benchtime 50x -count 3 .

@@ -8,10 +8,12 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/bigmath"
 	"repro/internal/clarkson"
+	"repro/internal/cli"
 	"repro/internal/fp"
 	"repro/internal/gen"
 	"repro/internal/libm"
 	"repro/internal/oracle"
+	"repro/internal/pipeline"
 	"repro/internal/poly"
 	"repro/internal/remez"
 	"repro/internal/verify"
@@ -284,6 +286,61 @@ func BenchmarkVerifyExhaustive(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// pipelineBenchOpts is the small-format configuration of the pipeline
+// benchmarks: two progressive levels of cospi, small enough that the full
+// enumerate→reduce→solve→verify chain runs in tens of milliseconds, large
+// enough that every stage does real work.
+func pipelineBenchOpts() gen.Options {
+	return gen.Options{
+		Levels:  []fp.Format{fp.MustFormat(10, 8), fp.MustFormat(12, 8)},
+		Seed:    1,
+		Workers: 4,
+	}
+}
+
+// BenchmarkPipelineCold times the full staged pipeline — Enumerate, Reduce,
+// Solve, Verify — into a fresh artifact store each iteration: the price of
+// a run that computes and checkpoints everything.
+func BenchmarkPipelineCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := pipeline.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, _, err := cli.GenerateVerified(bigmath.CosPi, pipelineBenchOpts(), st); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineWarm times the same request against a pre-warmed store:
+// the verify artifact answers immediately, so this measures the cache probe
+// plus one sealed decode — the cost a sibling command (rlibm-table2 after
+// rlibm-table1) pays per function.
+func BenchmarkPipelineWarm(b *testing.B) {
+	dir := b.TempDir()
+	st, err := pipeline.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := cli.GenerateVerified(bigmath.CosPi, pipelineBenchOpts(), st); err != nil {
+		b.Fatal(err)
+	}
+	st.ResetEvents()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cli.GenerateVerified(bigmath.CosPi, pipelineBenchOpts(), st); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if n := st.CountEvents(gen.StageEnumerate, false); n != 0 {
+		b.Fatalf("warm benchmark re-ran Enumerate %d times", n)
 	}
 }
 

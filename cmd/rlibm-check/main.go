@@ -11,12 +11,13 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 	"strings"
 
 	"repro/internal/baseline"
 	"repro/internal/bigmath"
+	"repro/internal/cli"
 	"repro/internal/fp"
+	"repro/internal/gen"
 	"repro/internal/libm"
 	"repro/internal/oracle"
 	"repro/internal/verify"
@@ -29,16 +30,20 @@ func (c crAdapter) Bits(x float64, out fp.Format, mode fp.Mode) uint64 {
 }
 
 func main() {
+	common := cli.Register(flag.CommandLine)
 	var (
-		fnName  = flag.String("func", "exp", "function to check")
-		lib     = flag.String("lib", "prog", "library: prog, rlibm-all, glibc, intel, crlibm")
-		format  = flag.String("format", "F16,8", "target format, e.g. F19,8")
-		modes   = flag.String("modes", "rn,ra,rz,ru,rd", "comma-separated rounding modes")
-		samples = flag.Int("samples", 0, "sample count (0 = exhaustive)")
-		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", runtime.NumCPU(), "verification worker count (results are identical for any value)")
+		fnName   = flag.String("func", "exp", "function to check")
+		lib      = flag.String("lib", "prog", "library: prog, rlibm-all, glibc, intel, crlibm")
+		format   = flag.String("format", "F16,8", "target format, e.g. F19,8")
+		modes    = flag.String("modes", "rn,ra,rz,ru,rd", "comma-separated rounding modes")
+		samples  = flag.Int("samples", 0, "sample count (0 = exhaustive)")
+		generate = flag.Bool("generate", false, "generate the checked RLIBM library through the staged pipeline instead of using the emitted internal/libm tables")
 	)
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	seed, workers := &common.Seed, &common.Workers
 
 	fn, err := bigmath.ParseFunc(*fnName)
 	if err != nil {
@@ -57,16 +62,32 @@ func main() {
 		ms = append(ms, m)
 	}
 
+	progFor, baseFor := libm.Progressive, libm.RLibmAll
+	if *generate {
+		store, err := common.Store()
+		if err != nil {
+			log.Fatal(err)
+		}
+		progFor = func(fn bigmath.Func) (*gen.Result, error) {
+			res, _, err := cli.GenerateVerified(fn, common.ProgressiveOptions(false, nil), store)
+			return res, err
+		}
+		baseFor = func(fn bigmath.Func) (*gen.Result, error) {
+			res, _, err := cli.GenerateVerified(fn, common.BaselineOptions(fn, nil), store)
+			return res, err
+		}
+	}
+
 	var impl verify.Impl
 	switch *lib {
 	case "prog":
-		res, err := libm.Progressive(fn)
+		res, err := progFor(fn)
 		if err != nil {
 			log.Fatal(err)
 		}
 		impl = verify.NewGenImpl(res)
 	case "rlibm-all":
-		res, err := libm.RLibmAll(fn)
+		res, err := baseFor(fn)
 		if err != nil {
 			log.Fatal(err)
 		}

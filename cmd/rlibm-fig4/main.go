@@ -7,11 +7,17 @@
 // format, the total time to compute the function over a fixed corpus of
 // valid inputs, here measured with monotonic-clock batches instead of
 // rdtscp cycles.
+//
+// By default the timed libraries come from the emitted internal/libm
+// tables; with -generate they are generated through the staged pipeline,
+// reusing the shared artifact cache (-cache-dir), so a table1 → table2 →
+// fig4 sequence enumerates each function exactly once.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"math"
 	"math/rand"
 	"os"
@@ -21,6 +27,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/bigmath"
+	"repro/internal/cli"
 	"repro/internal/fp"
 	"repro/internal/gen"
 	"repro/internal/libm"
@@ -75,16 +82,34 @@ func timeIt(f func()) float64 {
 }
 
 func main() {
-	var (
-		seed    = flag.Int64("seed", 1, "random seed")
-		workers = flag.Int("workers", runtime.NumCPU(), "GOMAXPROCS pin for the timing runs (timing is serial; a fixed cap keeps runs comparable)")
-	)
+	common := cli.Register(flag.CommandLine)
+	generate := flag.Bool("generate", false, "generate the RLIBM libraries through the staged pipeline instead of using the emitted internal/libm tables")
 	flag.Parse()
-	runtime.GOMAXPROCS(*workers)
+	if err := common.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	seed := &common.Seed
+	// Timing is serial; -workers pins GOMAXPROCS so runs stay comparable.
+	runtime.GOMAXPROCS(common.Workers)
 
-	largest, ok := libm.LargestFormat()
-	if !ok {
-		fmt.Fprintln(os.Stderr, "no generated tables; run cmd/rlibm-gen -emit internal/libm first")
+	progFor, baseFor := libm.Progressive, libm.RLibmAll
+	largest, haveTables := libm.LargestFormat()
+	if *generate {
+		store, err := common.Store()
+		if err != nil {
+			log.Fatal(err)
+		}
+		progFor = func(fn bigmath.Func) (*gen.Result, error) {
+			res, _, err := cli.GenerateVerified(fn, common.ProgressiveOptions(false, nil), store)
+			return res, err
+		}
+		baseFor = func(fn bigmath.Func) (*gen.Result, error) {
+			res, _, err := cli.GenerateVerified(fn, common.BaselineOptions(fn, nil), store)
+			return res, err
+		}
+		largest = fp.MustFormat(common.Bits, 8)
+	} else if !haveTables {
+		fmt.Fprintln(os.Stderr, "no generated tables; run cmd/rlibm-gen -emit internal/libm first (or pass -generate)")
 		os.Exit(1)
 	}
 	formats := []struct {
@@ -112,12 +137,12 @@ func main() {
 	fmt.Println(strings.Repeat("-", 103))
 
 	for _, fn := range bigmath.AllFuncs {
-		prog, err := libm.Progressive(fn)
+		prog, err := progFor(fn)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%v: %v\n", fn, err)
 			os.Exit(1)
 		}
-		base, err := libm.RLibmAll(fn)
+		base, err := baseFor(fn)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%v: %v\n", fn, err)
 			os.Exit(1)

@@ -4,6 +4,12 @@
 // exhaustively (patching stragglers into the special-input tables), and
 // optionally emits the coefficient tables as Go source into internal/libm.
 //
+// The pipeline runs as explicit stages — Enumerate, Reduce, Solve, Verify —
+// each checkpointed in a content-addressed artifact cache (-cache-dir), so
+// an interrupted run resumes at stage granularity and repeated runs with a
+// different seed still reuse the expensive enumeration. -no-cache restores
+// the fully in-memory behavior.
+//
 // With -baseline it instead generates the RLibm-All comparison library:
 // piecewise polynomials with large sub-domain counts, a single (largest)
 // level, no progressive term counts.
@@ -13,6 +19,7 @@
 //	rlibm-gen -emit internal/libm                 # all ten functions
 //	rlibm-gen -baseline -emit internal/libm      # RLibm-All baseline
 //	rlibm-gen -func log2 -bits 22 -v             # one function, smaller scale
+//	rlibm-gen -func exp2 -levels F10,8:F12,8     # explicit tiny level list
 package main
 
 import (
@@ -21,47 +28,33 @@ import (
 	"log"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 
 	"repro/internal/bigmath"
-	"repro/internal/fp"
+	"repro/internal/cli"
 	"repro/internal/gen"
 	"repro/internal/oracle"
-	"repro/internal/verify"
 )
 
-// baselinePieces mirrors the RLibm-All sub-domain counts of Table 1,
-// scaled to the default 25-bit largest format (quartered relative to the
-// paper's 32-bit counts, minimum 4).
-func baselinePieces(fn bigmath.Func) int {
-	switch fn {
-	case bigmath.Ln:
-		return 256
-	case bigmath.Log2, bigmath.Log10, bigmath.Exp, bigmath.Exp2:
-		return 64
-	case bigmath.Exp10:
-		return 128
-	case bigmath.Sinh, bigmath.Cosh:
-		return 16
-	default: // sinpi, cospi
-		return 4
-	}
-}
-
 func main() {
+	common := cli.Register(flag.CommandLine)
 	var (
 		fnFlag   = flag.String("func", "all", "function to generate (all or one of ln,log2,log10,exp,exp2,exp10,sinh,cosh,sinpi,cospi)")
-		bits     = flag.Int("bits", gen.DefaultLargestBits, "width of the largest representation (paper: 32; see DESIGN.md)")
 		baseline = flag.Bool("baseline", false, "generate the RLibm-All piecewise baseline instead")
 		emitDir  = flag.String("emit", "", "directory to write generated Go table files into")
-		seed     = flag.Int64("seed", 1, "random seed")
 		verbose  = flag.Bool("v", false, "verbose progress")
 		noVerify = flag.Bool("skip-verify", false, "skip the exhaustive verification/repair pass")
 		progRO   = flag.Bool("progressive-ro", false, "generate lower levels against round-to-odd intervals (all-modes progressive guarantee; extension beyond the paper)")
-		workers  = flag.Int("workers", runtime.NumCPU(), "worker count for enumeration, solving and verification (generated tables are identical for any value)")
+		levels   = flag.String("levels", "", "colon-separated explicit level list, e.g. F10,8:F12,8 (overrides -bits)")
 	)
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	store, err := common.Store()
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var fns []bigmath.Func
 	if *fnFlag == "all" {
@@ -83,33 +76,34 @@ func main() {
 	failed := false
 
 	for _, fn := range fns {
-		opt := gen.Options{Seed: *seed, Logf: logf, Workers: *workers}
+		var opt gen.Options
 		kind := "progressive"
 		if *baseline {
 			kind = "rlibm-all-baseline"
-			opt.Levels = []fp.Format{fp.MustFormat(*bits, 8)}
-			opt.ForcePieces = baselinePieces(fn)
-			opt.MaxTerms = 6
+			opt = common.BaselineOptions(fn, logf)
 		} else {
-			opt.Levels = gen.StandardLevels(*bits)
-			opt.ProgressiveRO = *progRO
+			opt = common.ProgressiveOptions(*progRO, logf)
 		}
-		orc := oracle.New(fn)
-		opt.Oracle = orc
-		res, err := gen.Generate(fn, opt)
+		if *levels != "" {
+			lv, err := cli.ParseLevels(*levels)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opt.Levels = lv
+		}
+		opt.Oracle = oracle.New(fn)
+
+		var res *gen.Result
+		patched := 0
+		if *noVerify {
+			res, err = gen.GenerateStaged(fn, opt, store)
+		} else {
+			res, patched, err = cli.GenerateVerified(fn, opt, store)
+		}
 		if err != nil {
 			log.Printf("%v: %v", fn, err)
 			failed = true
 			continue
-		}
-		patched := 0
-		if !*noVerify {
-			patched, err = verify.Repair(res, orc, *workers)
-			if err != nil {
-				log.Printf("%v: verification failed: %v", fn, err)
-				failed = true
-				continue
-			}
 		}
 		st := res.Stats
 		fmt.Printf("%-6s %-20s pieces=%v degree=%v terms=%v specials=%v(+%d repaired) mem=%dB raw=%d rows=%d iters=%d lucky=%d exact=%d dur=%v\n",

@@ -3,87 +3,72 @@
 // degree, term count and coefficient storage against RLIBM-Prog's pieces,
 // per-representation degrees and term counts, special-input counts,
 // coefficient storage and the memory reduction factor.
+//
+// By default the table is rendered from the emitted tables in internal/libm.
+// With -generate it generates both libraries on the fly through the staged
+// pipeline, checkpointing every stage in the shared artifact cache
+// (-cache-dir) — a warm cache skips the oracle-driven enumeration entirely,
+// and sibling commands (rlibm-table2, rlibm-fig4 -generate) reuse the same
+// artifacts.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
-	"strings"
 
 	"repro/internal/bigmath"
+	"repro/internal/cli"
+	"repro/internal/gen"
 	"repro/internal/libm"
+	"repro/internal/report"
 )
 
 func main() {
+	common := cli.Register(flag.CommandLine)
+	var (
+		generate = flag.Bool("generate", false, "generate the libraries through the staged pipeline instead of using the emitted internal/libm tables")
+		verbose  = flag.Bool("v", false, "verbose generation progress")
+	)
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
-	missing := false
-	for _, fn := range bigmath.AllFuncs {
-		if !libm.Have(fn) || !libm.HaveBaseline(fn) {
-			fmt.Fprintf(os.Stderr, "missing generated tables for %v\n", fn)
-			missing = true
+	prog, base := libm.Progressive, libm.RLibmAll
+	if *generate {
+		store, err := common.Store()
+		if err != nil {
+			log.Fatal(err)
+		}
+		logf := func(string, ...interface{}) {}
+		if *verbose {
+			logf = log.Printf
+		}
+		prog = func(fn bigmath.Func) (*gen.Result, error) {
+			res, _, err := cli.GenerateVerified(fn, common.ProgressiveOptions(false, logf), store)
+			return res, err
+		}
+		base = func(fn bigmath.Func) (*gen.Result, error) {
+			res, _, err := cli.GenerateVerified(fn, common.BaselineOptions(fn, logf), store)
+			return res, err
+		}
+	} else {
+		missing := false
+		for _, fn := range bigmath.AllFuncs {
+			if !libm.Have(fn) || !libm.HaveBaseline(fn) {
+				fmt.Fprintf(os.Stderr, "missing generated tables for %v\n", fn)
+				missing = true
+			}
+		}
+		if missing {
+			fmt.Fprintln(os.Stderr, "run: go run ./cmd/rlibm-gen -emit internal/libm && go run ./cmd/rlibm-gen -baseline -emit internal/libm (or pass -generate)")
+			os.Exit(1)
 		}
 	}
-	if missing {
-		fmt.Fprintln(os.Stderr, "run: go run ./cmd/rlibm-gen -emit internal/libm && go run ./cmd/rlibm-gen -baseline -emit internal/libm")
-		os.Exit(1)
-	}
 
-	fmt.Println("Table 1: polynomials generated by RLIBM-Prog vs the RLibm-All baseline")
-	fmt.Println(strings.Repeat("=", 118))
-	fmt.Printf("%-7s | %-26s | %-52s | %s\n", "", "RLibm-All", "RLIBM-Prog", "")
-	fmt.Printf("%-7s | %6s %6s %6s %6s | %6s %-12s %-12s %4s %6s | %s\n",
-		"f(x)", "#poly", "degree", "#terms", "mem(B)",
-		"#poly", "degree", "#terms", "#spc", "mem(B)", "mem reduction")
-	fmt.Println(strings.Repeat("-", 118))
-
-	var totalProg, totalBase int
-	for _, fn := range bigmath.AllFuncs {
-		prog, _ := libm.Progressive(fn)
-		base, _ := libm.RLibmAll(fn)
-
-		nLev := len(prog.Levels)
-		// Degrees and terms per level, largest first (FP / TF32 / BF16
-		// ordering like the paper's columns).
-		var degCols, termCols []string
-		for li := nLev - 1; li >= 0; li-- {
-			degCols = append(degCols, intsCompact(prog.MaxDegree(li)))
-			termCols = append(termCols, intsCompact(prog.TermsAt(li)))
-		}
-		specials := 0
-		for _, n := range prog.NumSpecials() {
-			specials += n
-		}
-		progMem := prog.CoefficientBytes()
-		baseMem := base.CoefficientBytes()
-		totalProg += progMem
-		totalBase += baseMem
-		fmt.Printf("%-7s | %6s %6s %6s %6d | %6s %-12s %-12s %4d %6d | %5.0fx\n",
-			fn,
-			intsCompact(base.NumPieces()),
-			intsCompact(base.MaxDegree(0)),
-			intsCompact(base.TermsAt(0)),
-			baseMem,
-			intsCompact(prog.NumPieces()),
-			strings.Join(degCols, "/"),
-			strings.Join(termCols, "/"),
-			specials,
-			progMem,
-			float64(baseMem)/float64(progMem))
+	if err := report.Table1(os.Stdout, bigmath.AllFuncs, prog, base); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println(strings.Repeat("-", 118))
-	fmt.Printf("total coefficient storage: RLIBM-Prog %d B, RLibm-All %d B, overall reduction %.0fx\n",
-		totalProg, totalBase, float64(totalBase)/float64(totalProg))
-	if prog, err := libm.Progressive(bigmath.Ln); err == nil {
-		fmt.Printf("levels: %v (degree/terms columns are largest→smallest; two values per cell = the two kernel polynomials)\n", prog.Levels)
-	}
-}
-
-func intsCompact(v []int) string {
-	parts := make([]string, len(v))
-	for i, x := range v {
-		parts[i] = fmt.Sprint(x)
-	}
-	return strings.Join(parts, ",")
 }

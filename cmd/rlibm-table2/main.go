@@ -8,18 +8,25 @@
 // bfloat16 and tensorfloat32 are always checked exhaustively; the largest
 // format is sampled by default (-exhaustive enumerates all of it, which
 // takes minutes per function on one core).
+//
+// By default the generated libraries come from the emitted internal/libm
+// tables; with -generate they are generated through the staged pipeline,
+// reusing the shared artifact cache (-cache-dir) — after an rlibm-table1
+// -generate run the enumeration is never repeated.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
-	"runtime"
 	"strings"
 
 	"repro/internal/baseline"
 	"repro/internal/bigmath"
+	"repro/internal/cli"
 	"repro/internal/fp"
+	"repro/internal/gen"
 	"repro/internal/libm"
 	"repro/internal/oracle"
 	"repro/internal/verify"
@@ -39,23 +46,41 @@ func (c crAdapter) Bits(x float64, out fp.Format, mode fp.Mode) uint64 {
 }
 
 func main() {
+	common := cli.Register(flag.CommandLine)
 	var (
 		exhaustive = flag.Bool("exhaustive", false, "enumerate the largest format exhaustively (slow)")
 		samples    = flag.Int("samples", 400000, "sample count per mode for the largest format")
-		seed       = flag.Int64("seed", 1, "random seed")
-		workers    = flag.Int("workers", runtime.NumCPU(), "verification worker count (results are identical for any value)")
+		generate   = flag.Bool("generate", false, "generate the RLIBM libraries through the staged pipeline instead of using the emitted internal/libm tables")
 	)
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		log.Fatal(err)
+	}
 
-	largest, ok := libm.LargestFormat()
-	if !ok {
-		fmt.Fprintln(os.Stderr, "no generated tables; run cmd/rlibm-gen -emit internal/libm first")
+	progFor, baseFor := libm.Progressive, libm.RLibmAll
+	largest, haveTables := libm.LargestFormat()
+	if *generate {
+		store, err := common.Store()
+		if err != nil {
+			log.Fatal(err)
+		}
+		progFor = func(fn bigmath.Func) (*gen.Result, error) {
+			res, _, err := cli.GenerateVerified(fn, common.ProgressiveOptions(false, nil), store)
+			return res, err
+		}
+		baseFor = func(fn bigmath.Func) (*gen.Result, error) {
+			res, _, err := cli.GenerateVerified(fn, common.BaselineOptions(fn, nil), store)
+			return res, err
+		}
+		largest = fp.MustFormat(common.Bits, 8)
+	} else if !haveTables {
+		fmt.Fprintln(os.Stderr, "no generated tables; run cmd/rlibm-gen -emit internal/libm first (or pass -generate)")
 		os.Exit(1)
 	}
 	fourModes := []fp.Mode{fp.RoundNearestEven, fp.RoundTowardZero, fp.RoundTowardPositive, fp.RoundTowardNegative}
 	columns := []column{
 		{"RLIBM-Prog", func(fn bigmath.Func) verify.Impl {
-			res, err := libm.Progressive(fn)
+			res, err := progFor(fn)
 			if err != nil {
 				return nil
 			}
@@ -65,7 +90,7 @@ func main() {
 		{"intel-sub", func(fn bigmath.Func) verify.Impl { return baseline.DDLibm{Fn: fn} }, fp.StandardModes},
 		{"crlibm-sub", func(fn bigmath.Func) verify.Impl { return crAdapter{baseline.CRLibm{Fn: fn}} }, fourModes},
 		{"RLibm-All", func(fn bigmath.Func) verify.Impl {
-			res, err := libm.RLibmAll(fn)
+			res, err := baseFor(fn)
 			if err != nil {
 				return nil
 			}
@@ -106,15 +131,15 @@ func main() {
 				fmt.Printf(" | %-18s", "missing")
 				continue
 			}
-			smallOK := allCorrect(verify.Exhaustive(impl, orc, fp.Bfloat16, []fp.Mode{fp.RoundNearestEven}, *workers)) &&
-				allCorrect(verify.Exhaustive(impl, orc, fp.TensorFloat32, []fp.Mode{fp.RoundNearestEven}, *workers))
+			smallOK := allCorrect(verify.Exhaustive(impl, orc, fp.Bfloat16, []fp.Mode{fp.RoundNearestEven}, common.Workers)) &&
+				allCorrect(verify.Exhaustive(impl, orc, fp.TensorFloat32, []fp.Mode{fp.RoundNearestEven}, common.Workers))
 			var rnReports, allReports []verify.Report
 			if *exhaustive {
-				rnReports = verify.Exhaustive(impl, orc, largest, []fp.Mode{fp.RoundNearestEven}, *workers)
-				allReports = verify.Exhaustive(impl, orc, largest, col.allModes, *workers)
+				rnReports = verify.Exhaustive(impl, orc, largest, []fp.Mode{fp.RoundNearestEven}, common.Workers)
+				allReports = verify.Exhaustive(impl, orc, largest, col.allModes, common.Workers)
 			} else {
-				rnReports = verify.Sampled(impl, orc, largest, []fp.Mode{fp.RoundNearestEven}, *samples, *seed, *workers)
-				allReports = verify.Sampled(impl, orc, largest, col.allModes, *samples, *seed+1, *workers)
+				rnReports = verify.Sampled(impl, orc, largest, []fp.Mode{fp.RoundNearestEven}, *samples, common.Seed, common.Workers)
+				allReports = verify.Sampled(impl, orc, largest, col.allModes, *samples, common.Seed+1, common.Workers)
 			}
 			fmt.Printf(" | %-4s %-4s %-8s", mark(smallOK, true),
 				mark(allCorrect(rnReports), true), mark(allCorrect(allReports), true))

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CacheKey enforces the artifact-store invalidation contract: a struct type
+// that declares a method named Fingerprint (gen.Options is the instance
+// that matters) promises that its fingerprint digests every field that can
+// influence generated output. The analyzer checks the promise structurally:
+// every field of the receiver struct must be mentioned through the receiver
+// inside the Fingerprint method body — either digested (e.Int(o.MaxTerms))
+// or recorded as a deliberate exclusion (_ = o.Workers, with a comment
+// saying why the field cannot change output bits).
+//
+// The failure mode this guards against is silent: adding a field to
+// gen.Options without extending Fingerprint leaves old cache keys valid, so
+// a run with the new option happily reuses artifacts computed without it —
+// stale coefficients with no error anywhere. Mentions must appear
+// syntactically inside Fingerprint itself; a field digested only through a
+// helper still needs a `_ = o.Field` mention (or a //lint:ignore cachekey
+// with justification) at the contract site.
+var CacheKey = &Analyzer{
+	Name: "cachekey",
+	Doc:  "struct field missing from its Fingerprint method, so cache keys would not invalidate when it changes",
+	Run:  runCacheKey,
+}
+
+func runCacheKey(p *Pass) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Fingerprint" || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			named, st := p.recvStruct(fd.Recv.List[0])
+			if st == nil {
+				continue
+			}
+			recv := p.recvObj(fd.Recv.List[0])
+			mentioned := p.receiverMentions(fd.Body, recv)
+			for i := 0; i < st.NumFields(); i++ {
+				field := st.Field(i)
+				if mentioned[field.Name()] {
+					continue
+				}
+				diags = append(diags, Diagnostic{
+					Pos:      p.Fset.Position(field.Pos()),
+					Analyzer: "cachekey",
+					Message: "field " + named.Obj().Name() + "." + field.Name() +
+						" is not mentioned in Fingerprint: cache keys would not invalidate when it changes; digest it, or record the exclusion with a blank mention",
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// recvStruct resolves a method receiver to its named struct type, looking
+// through one level of pointer; (nil, nil) when the receiver is not a
+// struct.
+func (p *Pass) recvStruct(recv *ast.Field) (*types.Named, *types.Struct) {
+	tv, ok := p.Info.Types[recv.Type]
+	if !ok {
+		return nil, nil
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+	return named, st
+}
+
+// recvObj returns the receiver variable's object, or nil for an unnamed or
+// blank receiver (which can mention no fields).
+func (p *Pass) recvObj(recv *ast.Field) types.Object {
+	if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+		return nil
+	}
+	return p.Info.Defs[recv.Names[0]]
+}
+
+// receiverMentions collects the names selected directly off the receiver
+// anywhere in body: o.Field in an expression, a range header, or a blank
+// assignment all count.
+func (p *Pass) receiverMentions(body *ast.BlockStmt, recv types.Object) map[string]bool {
+	mentioned := make(map[string]bool)
+	if recv == nil {
+		return mentioned
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && p.Info.Uses[id] == recv {
+			mentioned[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return mentioned
+}

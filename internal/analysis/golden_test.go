@@ -32,6 +32,7 @@ func TestGolden(t *testing.T) {
 		{"floateq", []*Analyzer{FloatEq}, false},
 		{"bigprec", []*Analyzer{BigPrec}, false},
 		{"poolcapture", []*Analyzer{PoolCapture}, false},
+		{"cachekey", []*Analyzer{CacheKey}, false},
 		// The suppression fixtures run the full registry: suppressed holds
 		// one justified ignore per analyzer (golden is empty), badignore
 		// proves malformed directives are reported and suppress nothing.

@@ -1,0 +1,59 @@
+// Package cachekey exercises the cachekey analyzer: a struct with a
+// Fingerprint method must mention every field inside that method, either by
+// digesting it or by recording a deliberate exclusion with a blank mention.
+package cachekey
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Options mirrors the shape of gen.Options: some fields digested, one
+// excluded on purpose, and two forgotten entirely.
+type Options struct {
+	Bits      int
+	Seed      int64
+	Workers   int
+	Stale     bool         // want flagged: never mentioned in Fingerprint
+	Callback  func() error // want flagged: never mentioned in Fingerprint
+	mentioned string
+}
+
+func (o Options) Fingerprint() string {
+	sum := sha256.Sum256([]byte(fmt.Sprint(o.Bits, o.Seed, o.mentioned)))
+	_ = o.Workers // excluded: worker count cannot change output bits
+	return hex.EncodeToString(sum[:])
+}
+
+// Complete mentions every field, including one through a blank assignment
+// and one inside a range header: no findings.
+type Complete struct {
+	A    int
+	B    []int
+	Logf func(string)
+}
+
+func (c *Complete) Fingerprint() string {
+	s := c.A
+	for _, v := range c.B {
+		s += v
+	}
+	_ = c.Logf // excluded: logging cannot influence output
+	return fmt.Sprint(s)
+}
+
+// NoRecv has an unnamed receiver, so nothing can be mentioned: every field
+// is flagged.
+type NoRecv struct {
+	X int // want flagged: unnamed receiver mentions nothing
+}
+
+func (NoRecv) Fingerprint() string { return "" }
+
+// NotAFingerprint has no Fingerprint method and makes no cache-key promise.
+type NotAFingerprint struct {
+	Y int
+}
+
+func (n NotAFingerprint) Digest() string { return fmt.Sprint(n.Y) }

@@ -39,3 +39,11 @@ func quiet(set map[int]bool, vals, out []float64) {
 	})
 	_ = sum
 }
+
+type opts struct {
+	bits int
+	//lint:ignore cachekey field is derived from bits and cannot diverge.
+	cached string
+}
+
+func (o opts) Fingerprint() string { return string(rune(o.bits)) }

@@ -1,0 +1,204 @@
+package cli_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bigmath"
+	"repro/internal/cli"
+	"repro/internal/fp"
+	"repro/internal/gen"
+	"repro/internal/pipeline"
+	"repro/internal/report"
+)
+
+// The acceptance contract of the staged pipeline: a warm cache must be
+// byte-identical to a cold run at every worker count, a warm run must skip
+// the Enumerate stage entirely, and a corrupt artifact must regenerate
+// transparently. The tests drive the same entry point the commands use
+// (cli.GenerateVerified) on a deliberately small format pair so the full
+// enumerate→reduce→solve→verify chain runs in well under a second.
+
+const testFn = bigmath.CosPi
+
+func progOpts(workers int) gen.Options {
+	return gen.Options{
+		Levels:  []fp.Format{fp.MustFormat(10, 8), fp.MustFormat(12, 8)},
+		Seed:    1,
+		Workers: workers,
+	}
+}
+
+func baseOpts(workers int) gen.Options {
+	return gen.Options{
+		Levels:      []fp.Format{fp.MustFormat(12, 8)},
+		ForcePieces: 4,
+		MaxTerms:    6,
+		Seed:        1,
+		Workers:     workers,
+	}
+}
+
+// snapshot generates the progressive and baseline results through store and
+// renders every byte-comparable output: the emitted Go tables for both and
+// the Table 1 report over them.
+func snapshot(t *testing.T, store *pipeline.Store, workers int) (emitProg, emitBase, table []byte) {
+	t.Helper()
+	prog, _, err := cli.GenerateVerified(testFn, progOpts(workers), store)
+	if err != nil {
+		t.Fatalf("GenerateVerified(progressive, workers=%d): %v", workers, err)
+	}
+	base, _, err := cli.GenerateVerified(testFn, baseOpts(workers), store)
+	if err != nil {
+		t.Fatalf("GenerateVerified(baseline, workers=%d): %v", workers, err)
+	}
+	var buf bytes.Buffer
+	err = report.Table1(&buf, []bigmath.Func{testFn},
+		func(bigmath.Func) (*gen.Result, error) { return prog, nil },
+		func(bigmath.Func) (*gen.Result, error) { return base, nil })
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	return []byte(gen.EmitGo(prog, "libm", "registerTest")),
+		[]byte(gen.EmitGo(base, "libm", "registerTestBase")),
+		buf.Bytes()
+}
+
+func openStore(t *testing.T, dir string) *pipeline.Store {
+	t.Helper()
+	st, err := pipeline.Open(dir)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return st
+}
+
+// TestCacheDeterminism is the acceptance test: emitted coefficients and the
+// rendered table are byte-identical cold vs warm at workers=1 and
+// workers=4, and the warm runs never miss — in particular they skip the
+// Enumerate stage entirely.
+func TestCacheDeterminism(t *testing.T) {
+	dir := t.TempDir()
+
+	cold := openStore(t, dir)
+	progCold, baseCold, tableCold := snapshot(t, cold, 1)
+	if n := cold.CountEvents(gen.StageEnumerate, false); n == 0 {
+		t.Fatalf("cold run recorded no enumerate misses; the store saw no traffic")
+	}
+
+	for _, workers := range []int{1, 4} {
+		warm := openStore(t, dir)
+		progWarm, baseWarm, tableWarm := snapshot(t, warm, workers)
+		if !bytes.Equal(progWarm, progCold) {
+			t.Errorf("workers=%d: warm progressive emit differs from cold", workers)
+		}
+		if !bytes.Equal(baseWarm, baseCold) {
+			t.Errorf("workers=%d: warm baseline emit differs from cold", workers)
+		}
+		if !bytes.Equal(tableWarm, tableCold) {
+			t.Errorf("workers=%d: warm Table 1 differs from cold:\n--- cold ---\n%s--- warm ---\n%s",
+				workers, tableCold, tableWarm)
+		}
+		if n := warm.CountEvents(gen.StageEnumerate, false); n != 0 {
+			t.Errorf("workers=%d: warm run re-ran Enumerate %d times", workers, n)
+		}
+		if n := warm.CountEvents("", false); n != 0 {
+			t.Errorf("workers=%d: warm run missed %d stage probes; events: %+v", workers, n, warm.Events())
+		}
+		if n := warm.CountEvents(gen.StageVerify, true); n == 0 {
+			t.Errorf("workers=%d: warm run never hit the verify artifact", workers)
+		}
+	}
+
+	// A cold run in a fresh store at a different worker count must produce
+	// the same bytes: worker count is excluded from the fingerprint because
+	// it provably cannot change output.
+	cold4 := openStore(t, t.TempDir())
+	prog4, base4, table4 := snapshot(t, cold4, 4)
+	if !bytes.Equal(prog4, progCold) || !bytes.Equal(base4, baseCold) || !bytes.Equal(table4, tableCold) {
+		t.Errorf("cold workers=4 output differs from cold workers=1")
+	}
+}
+
+// TestCacheResume models an interrupted run: EnumerateStaged checkpointed
+// the enumerate and reduce artifacts, the process died before solving, and
+// a later GenerateStaged resumes at the Solve stage without touching the
+// oracle-driven enumeration.
+func TestCacheResume(t *testing.T) {
+	dir := t.TempDir()
+	opt := progOpts(2)
+
+	first := openStore(t, dir)
+	if _, _, err := gen.EnumerateStaged(testFn, opt, first); err != nil {
+		t.Fatalf("EnumerateStaged: %v", err)
+	}
+
+	resumed := openStore(t, dir)
+	res, err := gen.GenerateStaged(testFn, opt, resumed)
+	if err != nil {
+		t.Fatalf("GenerateStaged: %v", err)
+	}
+	if n := resumed.CountEvents(gen.StageReduce, true); n == 0 {
+		t.Errorf("resumed run did not reuse the reduce artifact; events: %+v", resumed.Events())
+	}
+	if n := resumed.CountEvents(gen.StageEnumerate, false); n != 0 {
+		t.Errorf("resumed run re-enumerated %d times", n)
+	}
+
+	pure, err := gen.GenerateStaged(testFn, opt, nil)
+	if err != nil {
+		t.Fatalf("GenerateStaged(no store): %v", err)
+	}
+	if got, want := gen.EmitGo(res, "libm", "r"), gen.EmitGo(pure, "libm", "r"); got != want {
+		t.Errorf("resumed result differs from uncached result")
+	}
+}
+
+// TestCacheCorruption flips a byte in every artifact on disk and demands
+// the next run regenerate transparently with identical output.
+func TestCacheCorruption(t *testing.T) {
+	dir := t.TempDir()
+	cold := openStore(t, dir)
+	progCold, _, _ := snapshot(t, cold, 2)
+
+	arts, err := filepath.Glob(filepath.Join(dir, "*", "*.art"))
+	if err != nil || len(arts) == 0 {
+		t.Fatalf("no artifacts under %s (err=%v)", dir, err)
+	}
+	for _, p := range arts {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0x40
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var logLines []string
+	logf := func(format string, args ...interface{}) {
+		logLines = append(logLines, fmt.Sprintf(format, args...))
+	}
+	opt := progOpts(2)
+	opt.Logf = logf
+	warm := openStore(t, dir)
+	prog, _, err := cli.GenerateVerified(testFn, opt, warm)
+	if err != nil {
+		t.Fatalf("GenerateVerified over corrupt cache: %v", err)
+	}
+	if got := gen.EmitGo(prog, "libm", "registerTest"); got != string(progCold) {
+		t.Errorf("regenerated output differs from the original cold run")
+	}
+	if n := warm.CountEvents("", true); n != 0 {
+		t.Errorf("corrupt artifacts produced %d cache hits", n)
+	}
+	joined := strings.Join(logLines, "\n")
+	if !strings.Contains(joined, "corrupt") {
+		t.Errorf("corruption was not logged; log formats seen:\n%s", joined)
+	}
+}

@@ -1,0 +1,161 @@
+// Package cli holds the flag plumbing and pipeline wiring shared by the
+// five rlibm commands: the common -workers/-seed/-bits/-cache-dir/-no-cache
+// flag set (previously copied four ways), artifact-store opening, and the
+// staged generate+verify entry point that lets sibling commands reuse one
+// cache — rlibm-table1 → table2 → fig4 enumerate each function exactly
+// once.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"repro/internal/bigmath"
+	"repro/internal/fp"
+	"repro/internal/gen"
+	"repro/internal/oracle"
+	"repro/internal/pipeline"
+	"repro/internal/verify"
+)
+
+// Common holds the flag values shared by every rlibm command.
+type Common struct {
+	// Workers bounds worker goroutines; generated output is bit-identical
+	// for every value. Must be ≥ 1 (Validate rejects silent defaulting).
+	Workers int
+	// Seed drives all randomness; runs are reproducible.
+	Seed int64
+	// Bits is the width of the largest representation.
+	Bits int
+	// CacheDir roots the content-addressed artifact store; empty disables
+	// caching, as does NoCache.
+	CacheDir string
+	NoCache  bool
+}
+
+// Register installs the shared flags into fs (use flag.CommandLine for a
+// command's top level) and returns the value struct they fill.
+func Register(fs *flag.FlagSet) *Common {
+	c := &Common{}
+	fs.IntVar(&c.Workers, "workers", runtime.NumCPU(),
+		"worker count for enumeration, solving and verification (generated output is identical for any value)")
+	fs.Int64Var(&c.Seed, "seed", 1, "random seed")
+	fs.IntVar(&c.Bits, "bits", gen.DefaultLargestBits,
+		"width of the largest representation (paper: 32; see DESIGN.md)")
+	fs.StringVar(&c.CacheDir, "cache-dir", DefaultCacheDir(),
+		"artifact cache directory (empty disables caching)")
+	fs.BoolVar(&c.NoCache, "no-cache", false, "disable the artifact cache")
+	return c
+}
+
+// Validate rejects unusable flag combinations with a clear error instead
+// of silently substituting defaults.
+func (c *Common) Validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d (use 1 for a serial run)", c.Workers)
+	}
+	if c.Bits < 2 {
+		return fmt.Errorf("-bits must be at least 2, got %d", c.Bits)
+	}
+	return nil
+}
+
+// DefaultCacheDir returns the default artifact cache location: the user
+// cache directory when the OS provides one, else a repo-local fallback.
+func DefaultCacheDir() string {
+	if dir, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(dir, "rlibm-repro")
+	}
+	return ".rlibm-cache"
+}
+
+// Store opens the artifact store selected by the flags. A nil store (with
+// nil error) means caching is disabled; every staged entry point accepts
+// that and computes in memory.
+func (c *Common) Store() (*pipeline.Store, error) {
+	if c.NoCache || c.CacheDir == "" {
+		return nil, nil
+	}
+	st, err := pipeline.Open(c.CacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("open artifact cache: %w", err)
+	}
+	return st, nil
+}
+
+// BaselinePieces mirrors the RLibm-All sub-domain counts of Table 1,
+// scaled to the default largest format (quartered relative to the paper's
+// 32-bit counts, minimum 4).
+func BaselinePieces(fn bigmath.Func) int {
+	switch fn {
+	case bigmath.Ln:
+		return 256
+	case bigmath.Log2, bigmath.Log10, bigmath.Exp, bigmath.Exp2:
+		return 64
+	case bigmath.Exp10:
+		return 128
+	case bigmath.Sinh, bigmath.Cosh:
+		return 16
+	default: // sinpi, cospi
+		return 4
+	}
+}
+
+// ProgressiveOptions builds the generation options of the paper's
+// progressive library for the shared flags.
+func (c *Common) ProgressiveOptions(progressiveRO bool, logf func(string, ...interface{})) gen.Options {
+	return gen.Options{
+		Levels:        gen.StandardLevels(c.Bits),
+		ProgressiveRO: progressiveRO,
+		Seed:          c.Seed,
+		Workers:       c.Workers,
+		Logf:          logf,
+	}
+}
+
+// BaselineOptions builds the generation options of the RLibm-All piecewise
+// baseline for the shared flags.
+func (c *Common) BaselineOptions(fn bigmath.Func, logf func(string, ...interface{})) gen.Options {
+	return gen.Options{
+		Levels:      []fp.Format{fp.MustFormat(c.Bits, 8)},
+		ForcePieces: BaselinePieces(fn),
+		MaxTerms:    6,
+		Seed:        c.Seed,
+		Workers:     c.Workers,
+		Logf:        logf,
+	}
+}
+
+// GenerateVerified runs the full staged pipeline for fn — Enumerate,
+// Reduce, Solve, then the exhaustive Verify/Repair pass — with every stage
+// checkpointed in store (nil store: all in memory). The verify stage wraps
+// the generation stages: a warm verify artifact skips generation and
+// verification entirely and decodes the repaired result directly. patched
+// reports how many inputs the repair pass added on a cold run (0 on a warm
+// one — the patches are already baked into the artifact).
+//
+// This lives here rather than in internal/gen because the verify stage
+// needs internal/verify, which itself imports gen.
+func GenerateVerified(fn bigmath.Func, opt gen.Options, store *pipeline.Store) (res *gen.Result, patched int, err error) {
+	orc := opt.Oracle
+	if orc == nil {
+		orc = oracle.New(fn)
+		opt.Oracle = orc
+	}
+	res, _, err = pipeline.Run(store, gen.VerifyKey(fn, opt), gen.ResultCodec,
+		pipeline.Logf(opt.Logf), func() (*gen.Result, error) {
+			r, err := gen.GenerateStaged(fn, opt, store)
+			if err != nil {
+				return nil, err
+			}
+			patched, err = verify.Repair(r, orc, opt.Workers)
+			if err != nil {
+				return nil, err
+			}
+			return r, nil
+		})
+	return res, patched, err
+}

@@ -1,0 +1,81 @@
+package cli_test
+
+import (
+	"flag"
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+func TestValidateRejectsBadWorkers(t *testing.T) {
+	for _, workers := range []int{0, -1, -8} {
+		c := &cli.Common{Workers: workers, Bits: 16}
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("Validate accepted -workers=%d", workers)
+			continue
+		}
+		if !strings.Contains(err.Error(), "-workers") {
+			t.Errorf("-workers=%d error does not name the flag: %v", workers, err)
+		}
+	}
+	c := &cli.Common{Workers: 1, Bits: 16}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate rejected a serial run: %v", err)
+	}
+}
+
+func TestValidateRejectsBadBits(t *testing.T) {
+	c := &cli.Common{Workers: 1, Bits: 1}
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "-bits") {
+		t.Errorf("Validate(-bits=1) = %v, want an error naming -bits", err)
+	}
+}
+
+func TestRegisterParsesSharedFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := cli.Register(fs)
+	args := []string{"-workers", "3", "-seed", "42", "-bits", "14", "-cache-dir", "/tmp/x", "-no-cache"}
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if c.Workers != 3 || c.Seed != 42 || c.Bits != 14 || c.CacheDir != "/tmp/x" || !c.NoCache {
+		t.Errorf("parsed values %+v do not match %v", c, args)
+	}
+}
+
+func TestStoreDisabled(t *testing.T) {
+	for _, c := range []*cli.Common{
+		{NoCache: true, CacheDir: t.TempDir()},
+		{CacheDir: ""},
+	} {
+		st, err := c.Store()
+		if err != nil {
+			t.Errorf("Store(%+v): %v", c, err)
+		}
+		if st != nil {
+			t.Errorf("Store(%+v) returned a live store; want nil (caching disabled)", c)
+		}
+	}
+	c := &cli.Common{CacheDir: t.TempDir()}
+	st, err := c.Store()
+	if err != nil || st == nil {
+		t.Errorf("Store with a cache dir: store=%v err=%v", st, err)
+	}
+}
+
+func TestParseLevels(t *testing.T) {
+	levels, err := cli.ParseLevels("F10,8:F12,8")
+	if err != nil {
+		t.Fatalf("ParseLevels: %v", err)
+	}
+	if len(levels) != 2 || levels[0].Bits() != 10 || levels[1].Bits() != 12 {
+		t.Errorf("ParseLevels(\"F10,8:F12,8\") = %v", levels)
+	}
+	for _, bad := range []string{"", ":", "F10,8:junk", "nope"} {
+		if _, err := cli.ParseLevels(bad); err == nil {
+			t.Errorf("ParseLevels(%q) succeeded; want error", bad)
+		}
+	}
+}

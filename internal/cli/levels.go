@@ -1,0 +1,30 @@
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fp"
+)
+
+// ParseLevels parses a colon-separated level list such as "F10,8:F12,8"
+// (format strings themselves contain commas) into an ascending-width level
+// list for gen.Options.
+func ParseLevels(s string) ([]fp.Format, error) {
+	var out []fp.Format
+	for _, part := range strings.Split(s, ":") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		f, err := fp.ParseFormat(part)
+		if err != nil {
+			return nil, fmt.Errorf("-levels: %w", err)
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-levels: empty level list %q", s)
+	}
+	return out, nil
+}

@@ -1,17 +1,7 @@
-// Package gen implements the RLIBM-Prog progressive polynomial generator:
-// it enumerates every input of every representation level, computes
-// correctly rounded results with the oracle, derives reduced rounding
-// intervals through the inverse output compensation, and solves the
-// resulting huge low-dimensional constraint system with the Clarkson
-// randomized solver, escalating term counts, sub-domain splits and
-// special-case inputs exactly as §3 of the paper describes.
 package gen
 
 import (
-	"fmt"
 	"math"
-	"sort"
-
 	"math/big"
 
 	"repro/internal/bigmath"
@@ -30,28 +20,18 @@ type rawConstraint struct {
 	xbits  uint64
 }
 
-// mergedRow is a post-merge constraint: the intersection of all raw
-// constraints sharing r within one (kernel, level).
-type mergedRow struct {
-	r      float64
-	lo, hi float64
-	inputs int32 // number of raw constraints merged in
-}
-
-// levelConstraints is the constraint set of one (kernel polynomial, level).
-type levelConstraints struct {
-	raw    []rawConstraint // sorted by r after build
-	merged []mergedRow
-}
-
-// constraintSet carries everything enumerated for one function.
-type constraintSet struct {
-	// perKernel[p][levelIdx]
-	perKernel [][]levelConstraints
-	// specials[levelIdx] collects inputs that cannot be served by the
-	// polynomial path: empty inversions, merge conflicts, unusable
-	// intervals (zero/inf results past Reduce).
-	specials []map[uint64]struct{}
+// rawSet is the Enumerate-stage artifact: every pre-merge rounding-interval
+// constraint, in deterministic enumeration order, plus the structurally
+// special inputs discovered along the way. It depends only on the function,
+// the level list and ProgressiveRO — not on the seed or the solver options
+// — so one enumeration serves every solve configuration.
+type rawSet struct {
+	// raw[kernel][level] lists the constraints in ascending input-bit
+	// order (the order the serial enumerator discovers them in).
+	raw [][][]rawConstraint
+	// specials[level] lists inputs evicted during enumeration (empty
+	// inversions, unusable affine splits), ascending.
+	specials [][]uint64
 	// rawCount is the total number of pre-merge constraints (the paper's
 	// n, e.g. 512 million for e^x at full scale).
 	rawCount int
@@ -170,25 +150,23 @@ func dedupSkipBitmaps(scheme reduction.Scheme, levels []fp.Format) [][]uint64 {
 	return out
 }
 
-// buildConstraints enumerates every finite input of every level and builds
-// the merged constraint system. The enumeration is sharded over contiguous
-// bit-ranges and run on up to workers goroutines against the shared
-// concurrency-safe oracle; shard outputs are merged in deterministic shard
-// order, so the result is bit-identical to a serial run for every worker
-// count.
-func buildConstraints(fn bigmath.Func, scheme reduction.Scheme, orc *oracle.Oracle,
-	levels []fp.Format, progressiveRO bool, workers int, logf func(string, ...interface{})) (*constraintSet, error) {
+// enumerate runs the Enumerate stage: every finite input of every level is
+// decoded, reduced and queried against the oracle, and the resulting raw
+// rounding-interval constraints are collected per (kernel, level). The
+// enumeration is sharded over contiguous bit-ranges and run on up to
+// workers goroutines against the shared concurrency-safe oracle; shard
+// outputs are concatenated in deterministic shard order, so the result is
+// bit-identical to a serial run for every worker count.
+func enumerate(fn bigmath.Func, scheme reduction.Scheme, orc *oracle.Oracle,
+	levels []fp.Format, progressiveRO bool, workers int, logf func(string, ...interface{})) *rawSet {
 
 	nk := scheme.NumPolys()
-	cs := &constraintSet{
-		perKernel: make([][]levelConstraints, nk),
-		specials:  make([]map[uint64]struct{}, len(levels)),
+	rs := &rawSet{
+		raw:      make([][][]rawConstraint, nk),
+		specials: make([][]uint64, len(levels)),
 	}
 	for p := 0; p < nk; p++ {
-		cs.perKernel[p] = make([]levelConstraints, len(levels))
-	}
-	for i := range cs.specials {
-		cs.specials[i] = make(map[uint64]struct{})
+		rs.raw[p] = make([][]rawConstraint, len(levels))
 	}
 
 	var skips [][]uint64
@@ -216,104 +194,16 @@ func buildConstraints(fn bigmath.Func, scheme reduction.Scheme, orc *oracle.Orac
 		count := 0
 		for _, sh := range outs { // deterministic shard order = ascending bits
 			for p := 0; p < nk; p++ {
-				cs.perKernel[p][li].raw = append(cs.perKernel[p][li].raw, sh.raw[p]...)
+				rs.raw[p][li] = append(rs.raw[p][li], sh.raw[p]...)
 			}
-			for _, b := range sh.specials {
-				cs.specials[li][b] = struct{}{}
-			}
-			cs.rawCount += sh.rawCount
+			rs.specials[li] = append(rs.specials[li], sh.specials...)
+			rs.rawCount += sh.rawCount
 			count += sh.count
 		}
 		if logf != nil {
 			logf("  level %v: %d poly-path inputs, %d structural specials",
-				lvl, count, len(cs.specials[li]))
+				lvl, count, len(rs.specials[li]))
 		}
 	}
-
-	// Sort and merge, one independent (kernel, level) unit per worker; the
-	// evicted inputs are collected per unit and folded into the shared
-	// per-level special sets after the join.
-	units := nk * len(levels)
-	evicted := make([][]uint64, units)
-	parallel.ForEach(workers, units, func(u int) {
-		p, li := u/len(levels), u%len(levels)
-		lc := &cs.perKernel[p][li]
-		sort.Slice(lc.raw, func(i, j int) bool { return lc.raw[i].r < lc.raw[j].r })
-		lc.merged = mergeRaw(lc.raw, func(xbits uint64) {
-			evicted[u] = append(evicted[u], xbits)
-		})
-		// Singleton rows covering at most two inputs (exact results such
-		// as 10^k for exp10) pin a coefficient combination to one double
-		// each and force the exact LP on every sample; a special-case
-		// table entry is cheaper in both generation time and runtime —
-		// this is where a share of the paper's "special case inputs"
-		// comes from. Rows shared by many inputs (e.g. exp2's r = 0,
-		// owned by every integer input) stay as equality constraints.
-		kept := lc.merged[:0]
-		for _, m := range lc.merged {
-			//lint:ignore floateq lo and hi are stored merged bounds; identical bits mark an equality row.
-			if m.lo == m.hi && m.inputs <= 2 {
-				evicted[u] = append(evicted[u], lc.inputsOfRow(m.r)...)
-				continue
-			}
-			kept = append(kept, m)
-		}
-		lc.merged = kept
-	})
-	for u, ev := range evicted {
-		li := u % len(levels)
-		for _, xb := range ev {
-			cs.specials[li][xb] = struct{}{}
-		}
-	}
-	return cs, nil
-}
-
-// mergeRaw intersects runs of equal reduced input. A raw constraint that
-// would empty the running intersection is evicted to the special list (its
-// freedom is incompatible with the other inputs sharing the reduced input).
-func mergeRaw(raw []rawConstraint, evict func(xbits uint64)) []mergedRow {
-	var out []mergedRow
-	i := 0
-	for i < len(raw) {
-		j := i
-		row := mergedRow{r: raw[i].r, lo: raw[i].lo, hi: raw[i].hi, inputs: 1}
-		//lint:ignore floateq rows sharing one reduced input carry identical stored bits; the merge groups by that exact key.
-		for j++; j < len(raw) && raw[j].r == row.r; j++ {
-			lo := math.Max(row.lo, raw[j].lo)
-			hi := math.Min(row.hi, raw[j].hi)
-			if lo > hi {
-				evict(raw[j].xbits)
-				continue
-			}
-			row.lo, row.hi = lo, hi
-			row.inputs++
-		}
-		out = append(out, row)
-		i = j
-	}
-	return out
-}
-
-// inputsOfRow returns the input bit patterns whose raw constraints merged
-// into the row at reduced input r (binary search over the sorted raw
-// slice).
-func (lc *levelConstraints) inputsOfRow(r float64) []uint64 {
-	lo := sort.Search(len(lc.raw), func(i int) bool { return lc.raw[i].r >= r })
-	var out []uint64
-	//lint:ignore floateq r is a stored row key re-presented verbatim; the scan matches its exact bits.
-	for i := lo; i < len(lc.raw) && lc.raw[i].r == r; i++ {
-		out = append(out, lc.raw[i].xbits)
-	}
-	return out
-}
-
-func (cs *constraintSet) describe() string {
-	total := 0
-	for _, pk := range cs.perKernel {
-		for _, lc := range pk {
-			total += len(lc.merged)
-		}
-	}
-	return fmt.Sprintf("%d raw constraints, %d merged rows", cs.rawCount, total)
+	return rs
 }

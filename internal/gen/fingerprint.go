@@ -1,0 +1,56 @@
+package gen
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"repro/internal/pipeline"
+)
+
+// Fingerprint digests every Options field that can influence the bits of a
+// generated result; it is the cache-key component that invalidates solve
+// and verify artifacts when the configuration changes. Apply defaults
+// before fingerprinting (the staged entry points do), so that an explicit
+// MaxTerms=8 and the zero-value default address the same artifact.
+//
+// Every field of Options must be mentioned in this function — the
+// rlibm-lint cachekey analyzer enforces it. Fields that provably cannot
+// change output bits (the determinism contract: Workers never changes the
+// result; Logf and Oracle are plumbing) are recorded as explicit blank
+// mentions instead of being digested.
+func (o Options) Fingerprint() string {
+	var e pipeline.Enc
+	e.Int(len(o.Levels))
+	for _, l := range o.Levels {
+		e.Int(l.Bits())
+		e.Int(l.ExpBits())
+	}
+	e.Int(o.MaxTerms)
+	e.Int(o.MaxPieces)
+	e.Int(o.MaxSpecials)
+	e.Int(o.ClarksonIters)
+	e.Int(o.ForcePieces)
+	e.Bool(o.ProgressiveRO)
+	e.I64(o.Seed)
+	_ = o.Workers // excluded: output is bit-identical for every worker count
+	_ = o.Logf    // excluded: logging cannot influence generated bits
+	_ = o.Oracle  // excluded: any oracle for fn returns identical results
+	sum := sha256.Sum256(e.Bytes())
+	return hex.EncodeToString(sum[:])
+}
+
+// enumFingerprint digests only the options the Enumerate and Reduce stages
+// depend on: the level list and ProgressiveRO. Seed and solver limits are
+// deliberately absent, so re-running with a different seed or term budget
+// reuses the expensive enumeration artifact.
+func (o Options) enumFingerprint() string {
+	var e pipeline.Enc
+	e.Int(len(o.Levels))
+	for _, l := range o.Levels {
+		e.Int(l.Bits())
+		e.Int(l.ExpBits())
+	}
+	e.Bool(o.ProgressiveRO)
+	sum := sha256.Sum256(e.Bytes())
+	return hex.EncodeToString(sum[:])
+}

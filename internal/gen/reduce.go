@@ -1,0 +1,150 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/parallel"
+)
+
+// mergedRow is a post-merge constraint: the intersection of all raw
+// constraints sharing r within one (kernel, level).
+type mergedRow struct {
+	r      float64
+	lo, hi float64
+	inputs int32 // number of raw constraints merged in
+}
+
+// levelConstraints is the constraint set of one (kernel polynomial, level).
+type levelConstraints struct {
+	merged []mergedRow
+	// rowInputs[i] lists every enumerated input bit pattern whose raw
+	// constraint shares merged[i]'s reduced input — including inputs
+	// evicted during the merge. When a row is violated by the solver, all
+	// of its inputs become special-case table entries.
+	rowInputs [][]uint64
+}
+
+// constraintSet is the Reduce-stage artifact: the merged constraint system
+// of one function. Like the raw set it depends only on the function, the
+// level list and ProgressiveRO.
+type constraintSet struct {
+	// perKernel[p][levelIdx]
+	perKernel [][]levelConstraints
+	// specials[levelIdx] collects inputs that cannot be served by the
+	// polynomial path: empty inversions, merge conflicts, unusable
+	// intervals (zero/inf results past Reduce).
+	specials []map[uint64]struct{}
+	// rawCount is the total number of pre-merge constraints.
+	rawCount int
+}
+
+// reduce runs the Reduce stage: per (kernel, level), sort the raw
+// constraints by reduced input and intersect runs sharing one reduced
+// input into merged rows; constraints that would empty an intersection,
+// and near-singleton equality rows, are evicted to the special sets. One
+// independent (kernel, level) unit runs per worker; the evicted inputs are
+// collected per unit and folded into the shared per-level special sets
+// after the join, so the result is worker-count-independent.
+//
+// reduce sorts rs.raw in place; the raw set must already be persisted (or
+// disposable) when it is called.
+func reduce(rs *rawSet, nLevels, workers int) *constraintSet {
+	nk := len(rs.raw)
+	cs := &constraintSet{
+		perKernel: make([][]levelConstraints, nk),
+		specials:  make([]map[uint64]struct{}, nLevels),
+		rawCount:  rs.rawCount,
+	}
+	for p := 0; p < nk; p++ {
+		cs.perKernel[p] = make([]levelConstraints, nLevels)
+	}
+	for li := range cs.specials {
+		cs.specials[li] = make(map[uint64]struct{}, len(rs.specials[li]))
+		for _, b := range rs.specials[li] {
+			cs.specials[li][b] = struct{}{}
+		}
+	}
+
+	units := nk * nLevels
+	evicted := make([][]uint64, units)
+	parallel.ForEach(workers, units, func(u int) {
+		p, li := u/nLevels, u%nLevels
+		raw := rs.raw[p][li]
+		sort.Slice(raw, func(i, j int) bool { return raw[i].r < raw[j].r })
+		lc := &cs.perKernel[p][li]
+		lc.merged, lc.rowInputs = mergeRaw(raw, func(xbits uint64) {
+			evicted[u] = append(evicted[u], xbits)
+		})
+		// Singleton rows covering at most two inputs (exact results such
+		// as 10^k for exp10) pin a coefficient combination to one double
+		// each and force the exact LP on every sample; a special-case
+		// table entry is cheaper in both generation time and runtime —
+		// this is where a share of the paper's "special case inputs"
+		// comes from. Rows shared by many inputs (e.g. exp2's r = 0,
+		// owned by every integer input) stay as equality constraints.
+		kept := lc.merged[:0]
+		keptInputs := lc.rowInputs[:0]
+		for mi, m := range lc.merged {
+			//lint:ignore floateq lo and hi are stored merged bounds; identical bits mark an equality row.
+			if m.lo == m.hi && m.inputs <= 2 {
+				evicted[u] = append(evicted[u], lc.rowInputs[mi]...)
+				continue
+			}
+			kept = append(kept, m)
+			keptInputs = append(keptInputs, lc.rowInputs[mi])
+		}
+		lc.merged = kept
+		lc.rowInputs = keptInputs
+	})
+	for u, ev := range evicted {
+		li := u % nLevels
+		for _, xb := range ev {
+			cs.specials[li][xb] = struct{}{}
+		}
+	}
+	return cs
+}
+
+// mergeRaw intersects runs of equal reduced input in the sorted raw slice.
+// A raw constraint that would empty the running intersection is evicted to
+// the special list (its freedom is incompatible with the other inputs
+// sharing the reduced input). The second return value lists, per merged
+// row, every input in the row's run — evicted ones included.
+func mergeRaw(raw []rawConstraint, evict func(xbits uint64)) ([]mergedRow, [][]uint64) {
+	var out []mergedRow
+	var inputs [][]uint64
+	i := 0
+	for i < len(raw) {
+		j := i
+		row := mergedRow{r: raw[i].r, lo: raw[i].lo, hi: raw[i].hi, inputs: 1}
+		rowIn := []uint64{raw[i].xbits}
+		//lint:ignore floateq rows sharing one reduced input carry identical stored bits; the merge groups by that exact key.
+		for j++; j < len(raw) && raw[j].r == row.r; j++ {
+			rowIn = append(rowIn, raw[j].xbits)
+			lo := math.Max(row.lo, raw[j].lo)
+			hi := math.Min(row.hi, raw[j].hi)
+			if lo > hi {
+				evict(raw[j].xbits)
+				continue
+			}
+			row.lo, row.hi = lo, hi
+			row.inputs++
+		}
+		out = append(out, row)
+		inputs = append(inputs, rowIn)
+		i = j
+	}
+	return out, inputs
+}
+
+func (cs *constraintSet) describe() string {
+	total := 0
+	for _, pk := range cs.perKernel {
+		for _, lc := range pk {
+			total += len(lc.merged)
+		}
+	}
+	return fmt.Sprintf("%d raw constraints, %d merged rows", cs.rawCount, total)
+}

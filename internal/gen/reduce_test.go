@@ -13,7 +13,7 @@ func TestMergeRaw(t *testing.T) {
 		{r: 3, lo: 5, hi: 5, xbits: 5}, // singleton
 	}
 	var evicted []uint64
-	rows := mergeRaw(raw, func(xb uint64) { evicted = append(evicted, xb) })
+	rows, inputs := mergeRaw(raw, func(xb uint64) { evicted = append(evicted, xb) })
 	if len(rows) != 3 {
 		t.Fatalf("rows: %+v", rows)
 	}
@@ -26,21 +26,16 @@ func TestMergeRaw(t *testing.T) {
 	if rows[2].lo != rows[2].hi {
 		t.Errorf("singleton row: %+v", rows[2])
 	}
-}
-
-func TestInputsOfRow(t *testing.T) {
-	lc := levelConstraints{raw: []rawConstraint{
-		{r: 1, xbits: 10},
-		{r: 2, xbits: 20},
-		{r: 2, xbits: 21},
-		{r: 3, xbits: 30},
-	}}
-	got := lc.inputsOfRow(2)
-	if len(got) != 2 || got[0] != 20 || got[1] != 21 {
-		t.Errorf("inputsOfRow(2) = %v", got)
+	// Each row's input list covers its whole run, evicted inputs included:
+	// a violated row turns all of them into special-case entries.
+	if len(inputs) != 3 {
+		t.Fatalf("inputs: %v", inputs)
 	}
-	if got := lc.inputsOfRow(5); len(got) != 0 {
-		t.Errorf("inputsOfRow(5) = %v", got)
+	if got := inputs[0]; len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("row 0 inputs: %v", got)
+	}
+	if got := inputs[1]; len(got) != 1 || got[0] != 4 {
+		t.Errorf("row 1 inputs: %v", got)
 	}
 }
 

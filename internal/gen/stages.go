@@ -1,0 +1,152 @@
+package gen
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bigmath"
+	"repro/internal/oracle"
+	"repro/internal/pipeline"
+	"repro/internal/reduction"
+)
+
+// Stage names, as they appear in artifact keys and cache event logs.
+const (
+	StageEnumerate = "enumerate"
+	StageReduce    = "reduce"
+	StageSolve     = "solve"
+	StageVerify    = "verify"
+)
+
+// stageKey addresses one stage artifact of fn. The enumerate and reduce
+// stages key on the narrow enumFingerprint (levels + ProgressiveRO), so a
+// seed or solver-budget change still reuses the expensive enumeration; the
+// solve and verify stages key on the full fingerprint.
+func stageKey(fn bigmath.Func, stage string, opt Options) pipeline.Key {
+	fp := opt.Fingerprint()
+	if stage == StageEnumerate || stage == StageReduce {
+		fp = opt.enumFingerprint()
+	}
+	return pipeline.Key{Func: fn.String(), Stage: stage, Fingerprint: fp}
+}
+
+// VerifyKey returns the artifact key of the verify stage for fn under opt
+// (defaults applied). internal/cli uses it with ResultCodec to stage the
+// exhaustive verify/repair pass around internal/verify.
+func VerifyKey(fn bigmath.Func, opt Options) pipeline.Key {
+	opt.defaults()
+	return stageKey(fn, StageVerify, opt)
+}
+
+// oracleFor returns the oracle to use for fn, validating a caller-provided
+// one.
+func oracleFor(fn bigmath.Func, opt Options) (*oracle.Oracle, error) {
+	orc := opt.Oracle
+	if orc == nil {
+		orc = oracle.New(fn)
+	}
+	if orc.Func() != fn {
+		return nil, fmt.Errorf("gen: oracle is for %v, not %v", orc.Func(), fn)
+	}
+	return orc, nil
+}
+
+// reduceStaged produces fn's merged constraint set, probing the store for
+// the reduce artifact and, on a miss, for the enumerate artifact before
+// falling back to the oracle-driven enumeration. A warm reduce artifact
+// therefore skips the Enumerate stage entirely.
+func reduceStaged(fn bigmath.Func, scheme reduction.Scheme, orc *oracle.Oracle,
+	opt Options, store *pipeline.Store, logf func(string, ...interface{})) (*constraintSet, error) {
+
+	cs, _, err := pipeline.Run(store, stageKey(fn, StageReduce, opt), constraintCodec,
+		pipeline.Logf(logf), func() (*constraintSet, error) {
+			rs, _, err := pipeline.Run(store, stageKey(fn, StageEnumerate, opt), enumCodec,
+				pipeline.Logf(logf), func() (*rawSet, error) {
+					logf("%v: enumerating %d levels ...", fn, len(opt.Levels))
+					return enumerate(fn, scheme, orc, opt.Levels, opt.ProgressiveRO, opt.Workers, logf), nil
+				})
+			if err != nil {
+				return nil, err
+			}
+			return reduce(rs, len(opt.Levels), opt.Workers), nil
+		})
+	return cs, err
+}
+
+// EnumerateStaged is Enumerate with an artifact store: it runs (or loads)
+// the Enumerate and Reduce stages and reports the system size. Tooling
+// uses it to warm a cache without paying for a solve.
+func EnumerateStaged(fn bigmath.Func, opt Options, store *pipeline.Store) (rawConstraints, mergedRows int, err error) {
+	opt.defaults()
+	if err := checkLevels(opt.Levels); err != nil {
+		return 0, 0, err
+	}
+	orc, err := oracleFor(fn, opt)
+	if err != nil {
+		return 0, 0, err
+	}
+	cs, err := reduceStaged(fn, reduction.ForFunc(fn), orc, opt, store, nopLogf(opt.Logf))
+	if err != nil {
+		return 0, 0, err
+	}
+	merged := 0
+	for _, pk := range cs.perKernel {
+		for _, lc := range pk {
+			merged += len(lc.merged)
+		}
+	}
+	return cs.rawCount, merged, nil
+}
+
+// GenerateStaged runs the full RLIBM-Prog pipeline for fn as explicit
+// stages — Enumerate, Reduce, Solve — checkpointing each stage's artifact
+// in store (nil store: everything runs in memory, exactly like Generate).
+// The stages nest lazily: a warm solve artifact answers immediately; a
+// cold solve probes the reduce artifact, which in turn probes the
+// enumerate artifact, so an interrupted run resumes at stage granularity
+// and sibling commands sharing one store enumerate each function exactly
+// once. The returned result is bit-identical for every worker count and
+// cache state.
+func GenerateStaged(fn bigmath.Func, opt Options, store *pipeline.Store) (*Result, error) {
+	opt.defaults()
+	if err := checkLevels(opt.Levels); err != nil {
+		return nil, err
+	}
+	//lint:ignore wallclock duration statistic only; the value never feeds a coefficient.
+	start := time.Now()
+	logf := nopLogf(opt.Logf)
+	scheme := reduction.ForFunc(fn)
+	orc, err := oracleFor(fn, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	res, _, err := pipeline.Run(store, stageKey(fn, StageSolve, opt), ResultCodec,
+		pipeline.Logf(logf), func() (*Result, error) {
+			cs, err := reduceStaged(fn, scheme, orc, opt, store, logf)
+			if err != nil {
+				return nil, err
+			}
+			logf("%v: %s", fn, cs.describe())
+			return solveAll(fn, scheme, cs, orc, opt, logf)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	//lint:ignore wallclock duration statistic only; the value never feeds a coefficient.
+	res.Stats.Duration = time.Since(start)
+	res.Stats.Oracle = orc.Stats()
+	logf("%v: done in %v (%d attempts, %d iters, %d lucky, %d exact solves)",
+		fn, res.Stats.Duration.Round(time.Millisecond), res.Stats.Attempts,
+		res.Stats.Iters, res.Stats.Lucky, res.Stats.ExactSolves)
+	return res, nil
+}
+
+// nopLogf returns logf, or a no-op logger when logf is nil.
+func nopLogf(logf func(string, ...interface{})) func(string, ...interface{}) {
+	if logf == nil {
+		return func(string, ...interface{}) {}
+	}
+	return logf
+}

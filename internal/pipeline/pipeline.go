@@ -1,0 +1,122 @@
+// Package pipeline provides the staged-generation infrastructure behind
+// internal/gen: a typed stage abstraction plus a content-addressed on-disk
+// artifact store.
+//
+// The generator is organized as four explicit stages — Enumerate (oracle →
+// rounding intervals), Reduce (intervals → merged constraint set), Solve
+// (Clarkson per piece) and Verify (exhaustive check + repair) — each
+// consuming and producing a typed artifact. Run executes one stage: it
+// probes the store for the stage's artifact, decodes and returns it on a
+// hit, and otherwise computes the artifact, persists it and returns it.
+// A crash therefore loses at most the stage in flight, and sibling
+// commands (rlibm-gen, rlibm-table1, rlibm-table2, rlibm-fig4) sharing one
+// cache directory enumerate each function exactly once.
+//
+// Determinism is the contract: artifacts are encoded with the
+// deterministic binary codec in this package (fixed-width little-endian,
+// float64 as IEEE bits), so a warm-cache run returns byte-identical data
+// to the cold run that produced it, at every worker count. Nothing
+// volatile — wall-clock durations, oracle path counters — may be encoded
+// into an artifact.
+//
+// Artifacts are addressed by content key, not by mutable name: the file
+// path derives from a hash of (function, stage, options fingerprint, codec
+// name, codec version). Changing any key component — including bumping a
+// codec's Version after changing its layout or the semantics of the stage
+// that feeds it — simply addresses different files; stale artifacts are
+// never read, only orphaned. A corrupt artifact (truncated write, bit rot,
+// foreign file) fails its checksum or decode, is deleted, and the stage is
+// recomputed transparently.
+package pipeline
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// Codec describes the on-disk encoding of one artifact type. Name and
+// Version are part of both the frame header and the content address:
+// bumping Version after a layout or semantics change orphans every
+// artifact written with the previous one.
+type Codec[T any] struct {
+	Name    string
+	Version uint32
+	Encode  func(*Enc, T)
+	Decode  func(*Dec) (T, error)
+}
+
+// Key addresses one stage artifact.
+type Key struct {
+	// Func is the elementary function the artifact belongs to (one cache
+	// subdirectory per function).
+	Func string
+	// Stage names the pipeline stage that produced the artifact
+	// ("enumerate", "reduce", "solve", "verify").
+	Stage string
+	// Fingerprint is the hex digest of every generation option that can
+	// influence the artifact's bits (see gen.Options.Fingerprint).
+	Fingerprint string
+}
+
+// Logf is the progress-logging callback threaded through the pipeline;
+// nil disables logging.
+type Logf func(string, ...interface{})
+
+// Run executes one pipeline stage. With a nil store it simply calls
+// compute. Otherwise it probes the store under key: on a hit the decoded
+// artifact is returned with fromCache=true; on a miss (including a corrupt
+// or unreadable artifact, which is deleted and logged) compute runs and
+// its result is sealed and written atomically into the store. A failed
+// cache write is logged and otherwise ignored — caching is an
+// optimization, never a correctness dependency.
+func Run[T any](st *Store, key Key, c Codec[T], logf Logf, compute func() (T, error)) (value T, fromCache bool, err error) {
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	if st == nil {
+		v, err := compute()
+		return v, false, err
+	}
+	path := st.path(key, c.Name, c.Version)
+	if data, ok := st.read(path); ok {
+		v, derr := decodeArtifact(data, c)
+		if derr == nil {
+			st.record(key, true)
+			logf("cache: %s %s stage hit (%s)", key.Func, key.Stage, filepath.Base(path))
+			return v, true, nil
+		}
+		logf("cache: %s %s stage: %v — regenerating", key.Func, key.Stage, derr)
+		_ = os.Remove(path)
+	}
+	st.record(key, false)
+	v, err := compute()
+	if err != nil {
+		var zero T
+		return zero, false, err
+	}
+	var e Enc
+	c.Encode(&e, v)
+	if werr := st.write(path, Seal(c.Name, c.Version, e.Bytes())); werr != nil {
+		logf("cache: %s %s stage: write failed: %v (continuing uncached)", key.Func, key.Stage, werr)
+	}
+	return v, false, nil
+}
+
+// decodeArtifact unseals and decodes one stored artifact, insisting that
+// the payload is consumed exactly.
+func decodeArtifact[T any](data []byte, c Codec[T]) (T, error) {
+	var zero T
+	payload, err := Unseal(data, c.Name, c.Version)
+	if err != nil {
+		return zero, err
+	}
+	d := NewDec(payload)
+	v, err := c.Decode(d)
+	if err != nil {
+		return zero, err
+	}
+	if err := d.Done(); err != nil {
+		return zero, err
+	}
+	return v, nil
+}

@@ -1,0 +1,268 @@
+package pipeline
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// testCodec encodes a []float64 payload; enough structure to exercise the
+// framing, the stage runner and the corruption paths.
+var testCodec = Codec[[]float64]{
+	Name:    "test-vector",
+	Version: 1,
+	Encode: func(e *Enc, v []float64) {
+		e.Int(len(v))
+		for _, x := range v {
+			e.F64(x)
+		}
+	},
+	Decode: func(d *Dec) ([]float64, error) {
+		n := d.Len()
+		out := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, d.F64())
+		}
+		return out, d.Err()
+	},
+}
+
+func testKey() Key { return Key{Func: "exp2", Stage: "enumerate", Fingerprint: "abc123"} }
+
+func TestRunColdThenWarm(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, math.Pi, -0.5, math.Inf(1)}
+	computes := 0
+	compute := func() ([]float64, error) { computes++; return want, nil }
+
+	got, hit, err := Run(st, testKey(), testCodec, nil, compute)
+	if err != nil || hit {
+		t.Fatalf("cold run: hit=%v err=%v", hit, err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cold value: %v", got)
+	}
+	got, hit, err = Run(st, testKey(), testCodec, nil, compute)
+	if err != nil || !hit {
+		t.Fatalf("warm run: hit=%v err=%v", hit, err)
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Errorf("warm value[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if computes != 1 {
+		t.Errorf("compute ran %d times, want 1", computes)
+	}
+	ev := st.Events()
+	if len(ev) != 2 || ev[0].Hit || !ev[1].Hit {
+		t.Errorf("events: %+v", ev)
+	}
+}
+
+func TestRunNilStore(t *testing.T) {
+	v, hit, err := Run(nil, testKey(), testCodec, nil, func() ([]float64, error) { return []float64{7}, nil })
+	if err != nil || hit || len(v) != 1 {
+		t.Fatalf("nil store: v=%v hit=%v err=%v", v, hit, err)
+	}
+}
+
+func TestRunComputeError(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if _, _, err := Run(st, testKey(), testCodec, nil, func() ([]float64, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failure must not have been cached.
+	if _, hit, _ := Run(st, testKey(), testCodec, nil, func() ([]float64, error) { return []float64{1}, nil }); hit {
+		t.Fatal("failed compute was cached")
+	}
+}
+
+// artifactFile returns the single .art file below dir.
+func artifactFile(t *testing.T, dir string) string {
+	t.Helper()
+	var found string
+	err := filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && filepath.Ext(p) == ".art" {
+			found = p
+		}
+		return err
+	})
+	if err != nil || found == "" {
+		t.Fatalf("no artifact under %s (err=%v)", dir, err)
+	}
+	return found
+}
+
+func TestRunCorruptArtifactRegenerates(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	if _, _, err := Run(st, testKey(), testCodec, nil, func() ([]float64, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	path := artifactFile(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, hit, err := Run(st, testKey(), testCodec, nil, func() ([]float64, error) { return want, nil })
+	if err != nil || hit {
+		t.Fatalf("corrupt artifact: hit=%v err=%v", hit, err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("regenerated value: %v", got)
+	}
+	// The regeneration rewrote a valid artifact.
+	if _, hit, err := Run(st, testKey(), testCodec, nil, func() ([]float64, error) { return want, nil }); err != nil || !hit {
+		t.Fatalf("after regeneration: hit=%v err=%v", hit, err)
+	}
+}
+
+func TestKeyComponentsAddressDistinctArtifacts(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testKey()
+	variants := []Key{
+		{Func: "exp", Stage: base.Stage, Fingerprint: base.Fingerprint},
+		{Func: base.Func, Stage: "solve", Fingerprint: base.Fingerprint},
+		{Func: base.Func, Stage: base.Stage, Fingerprint: "different"},
+	}
+	seen := map[string]bool{st.path(base, "c", 1): true}
+	for _, k := range variants {
+		p := st.path(k, "c", 1)
+		if seen[p] {
+			t.Errorf("key %+v collides", k)
+		}
+		seen[p] = true
+	}
+	if seen[st.path(base, "other-codec", 1)] || seen[st.path(base, "c", 2)] {
+		t.Error("codec identity does not separate addresses")
+	}
+}
+
+// TestSealUnsealProperty: every sealed payload unseals to itself, and any
+// single bit flip or truncation is rejected with ErrCorrupt — never a
+// silent partial read. testing/quick drives the seed.
+func TestSealUnsealProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		payload := make([]byte, rng.Intn(256))
+		rng.Read(payload)
+		sealed := Seal("prop", 3, payload)
+
+		got, err := Unseal(sealed, "prop", 3)
+		if err != nil || len(got) != len(payload) {
+			return false
+		}
+		for i := range payload {
+			if got[i] != payload[i] {
+				return false
+			}
+		}
+		// Bit flip anywhere → ErrCorrupt.
+		flipped := append([]byte(nil), sealed...)
+		flipped[rng.Intn(len(flipped))] ^= 1 << uint(rng.Intn(8))
+		if _, err := Unseal(flipped, "prop", 3); !errors.Is(err, ErrCorrupt) {
+			return false
+		}
+		// Truncation anywhere → ErrCorrupt.
+		if _, err := Unseal(sealed[:rng.Intn(len(sealed))], "prop", 3); !errors.Is(err, ErrCorrupt) {
+			return false
+		}
+		// Wrong codec identity → ErrCorrupt.
+		if _, err := Unseal(sealed, "other", 3); !errors.Is(err, ErrCorrupt) {
+			return false
+		}
+		if _, err := Unseal(sealed, "prop", 4); !errors.Is(err, ErrCorrupt) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEncDecProperty: the primitive encoders round-trip exactly (floats by
+// bits, including NaN and signed zero) and Done rejects trailing bytes.
+func TestEncDecProperty(t *testing.T) {
+	prop := func(u uint64, i int64, f float64, b bool) bool {
+		var e Enc
+		e.U32(uint32(u))
+		e.U64(u)
+		e.I64(i)
+		e.Int(int(i))
+		e.F64(f)
+		e.Bool(b)
+		d := NewDec(e.Bytes())
+		ok := d.U32() == uint32(u) && d.U64() == u && d.I64() == i && d.Int() == int(i) &&
+			math.Float64bits(d.F64()) == math.Float64bits(f) && d.Bool() == b
+		return ok && d.Done() == nil
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Specials that quick never generates.
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1)} {
+		var e Enc
+		e.F64(f)
+		d := NewDec(e.Bytes())
+		if math.Float64bits(d.F64()) != math.Float64bits(f) {
+			t.Errorf("%v does not round-trip", f)
+		}
+	}
+	// Trailing garbage is corruption.
+	var e Enc
+	e.U64(1)
+	d := NewDec(append(e.Bytes(), 0xff))
+	d.U64()
+	if err := d.Done(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing byte: err = %v", err)
+	}
+}
+
+func TestDecLenGuards(t *testing.T) {
+	var e Enc
+	e.Int(1 << 50) // absurd length
+	d := NewDec(e.Bytes())
+	if n := d.Len(); n != 0 {
+		t.Errorf("Len = %d", n)
+	}
+	if err := d.Err(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v", err)
+	}
+	var e2 Enc
+	e2.Int(-1)
+	d2 := NewDec(e2.Bytes())
+	d2.Len()
+	if err := d2.Err(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("negative length err = %v", err)
+	}
+}
+
+func TestOpenEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}

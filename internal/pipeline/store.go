@@ -1,0 +1,125 @@
+package pipeline
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is a content-addressed on-disk artifact store. It is safe for
+// concurrent use; every write is staged into a temporary file in the
+// destination directory and atomically renamed into place, so readers
+// never observe a partial artifact and an interrupted run leaves at most
+// an orphaned temp file behind.
+type Store struct {
+	dir string
+
+	mu     sync.Mutex
+	events []Event
+}
+
+// Event records one stage-cache probe; tests and tooling use the event
+// log to assert which stages were served from cache.
+type Event struct {
+	Key Key
+	Hit bool
+}
+
+// Open returns a store rooted at dir, creating it if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("pipeline: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pipeline: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path derives the content address of an artifact: a hash of every key
+// component plus the codec identity, laid out as one directory per
+// function with human-scannable "<stage>-<address>.art" file names.
+func (s *Store) path(key Key, codecName string, codecVersion uint32) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%s\x00%s\x00%s\x00%d",
+		key.Func, key.Stage, key.Fingerprint, codecName, codecVersion)))
+	return filepath.Join(s.dir, key.Func,
+		fmt.Sprintf("%s-%s.art", key.Stage, hex.EncodeToString(sum[:12])))
+}
+
+// read returns the artifact bytes at path, reporting ok=false on any
+// error (most commonly: not cached yet).
+func (s *Store) read(path string) ([]byte, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// write stores data at path atomically: temp file in the same directory,
+// then rename into place.
+func (s *Store) write(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// record appends one probe outcome to the event log.
+func (s *Store) record(key Key, hit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, Event{Key: key, Hit: hit})
+}
+
+// Events returns a copy of the probe log, in probe order.
+func (s *Store) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// ResetEvents clears the probe log.
+func (s *Store) ResetEvents() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = nil
+}
+
+// CountEvents returns how many probes of the given stage had the given
+// outcome ("" matches every stage).
+func (s *Store) CountEvents(stage string, hit bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.events {
+		if (stage == "" || e.Key.Stage == stage) && e.Hit == hit {
+			n++
+		}
+	}
+	return n
+}
