@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check test race bench bench-parallel bench-pipeline vet build lint
+.PHONY: check check-fault test race bench bench-parallel bench-pipeline vet build lint
 
 check:
 	@echo '== vet =='
@@ -14,6 +14,8 @@ check:
 	@$(MAKE) --no-print-directory build
 	@echo '== lint =='
 	@$(MAKE) --no-print-directory lint
+	@echo '== check-fault =='
+	@$(MAKE) --no-print-directory check-fault
 	@echo '== race =='
 	@$(MAKE) --no-print-directory race
 	@echo '== check: all stages passed =='
@@ -29,11 +31,21 @@ build:
 lint:
 	$(GO) run ./cmd/rlibm-lint ./...
 
+# The fault-injection matrix: every site × occurrence × worker count must
+# recover bit-identically or fail with a typed fault.Error, and never leave
+# the artifact cache corrupt (see internal/fault and DESIGN.md §8).
+check-fault:
+	$(GO) test -race -run 'Fault|Plan|Sites|Panic|Corrupt|Cancel|Audit|Error' \
+		./internal/fault/ ./internal/cli/ ./internal/pipeline/ ./internal/parallel/
+
 test:
 	$(GO) test ./...
 
+# The clarkson suite alone runs ~9 min under -race on one core; give the
+# binary headroom over go test's 10-minute default so a loaded machine
+# doesn't flake the gate.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -312,7 +313,7 @@ func BenchmarkPipelineCold(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		if _, _, err := cli.GenerateVerified(bigmath.CosPi, pipelineBenchOpts(), st); err != nil {
+		if _, _, err := cli.GenerateVerified(context.Background(), bigmath.CosPi, pipelineBenchOpts(), st); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -328,13 +329,13 @@ func BenchmarkPipelineWarm(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if _, _, err := cli.GenerateVerified(bigmath.CosPi, pipelineBenchOpts(), st); err != nil {
+	if _, _, err := cli.GenerateVerified(context.Background(), bigmath.CosPi, pipelineBenchOpts(), st); err != nil {
 		b.Fatal(err)
 	}
 	st.ResetEvents()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := cli.GenerateVerified(bigmath.CosPi, pipelineBenchOpts(), st); err != nil {
+		if _, _, err := cli.GenerateVerified(context.Background(), bigmath.CosPi, pipelineBenchOpts(), st); err != nil {
 			b.Fatal(err)
 		}
 	}

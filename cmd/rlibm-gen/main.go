@@ -51,6 +51,8 @@ func main() {
 	if err := common.Validate(); err != nil {
 		log.Fatal(err)
 	}
+	ctx, cancel := common.Context()
+	defer cancel()
 	store, err := common.Store()
 	if err != nil {
 		log.Fatal(err)
@@ -96,9 +98,9 @@ func main() {
 		var res *gen.Result
 		patched := 0
 		if *noVerify {
-			res, err = gen.GenerateStaged(fn, opt, store)
+			res, err = gen.GenerateStaged(ctx, fn, opt, store)
 		} else {
-			res, patched, err = cli.GenerateVerified(fn, opt, store)
+			res, patched, err = cli.GenerateVerified(ctx, fn, opt, store)
 		}
 		if err != nil {
 			log.Printf("%v: %v", fn, err)

@@ -38,6 +38,8 @@ func main() {
 
 	prog, base := libm.Progressive, libm.RLibmAll
 	if *generate {
+		ctx, cancel := common.Context()
+		defer cancel()
 		store, err := common.Store()
 		if err != nil {
 			log.Fatal(err)
@@ -47,11 +49,11 @@ func main() {
 			logf = log.Printf
 		}
 		prog = func(fn bigmath.Func) (*gen.Result, error) {
-			res, _, err := cli.GenerateVerified(fn, common.ProgressiveOptions(false, logf), store)
+			res, _, err := cli.GenerateVerified(ctx, fn, common.ProgressiveOptions(false, logf), store)
 			return res, err
 		}
 		base = func(fn bigmath.Func) (*gen.Result, error) {
-			res, _, err := cli.GenerateVerified(fn, common.BaselineOptions(fn, logf), store)
+			res, _, err := cli.GenerateVerified(ctx, fn, common.BaselineOptions(fn, logf), store)
 			return res, err
 		}
 	} else {

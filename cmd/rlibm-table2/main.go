@@ -60,16 +60,18 @@ func main() {
 	progFor, baseFor := libm.Progressive, libm.RLibmAll
 	largest, haveTables := libm.LargestFormat()
 	if *generate {
+		ctx, cancel := common.Context()
+		defer cancel()
 		store, err := common.Store()
 		if err != nil {
 			log.Fatal(err)
 		}
 		progFor = func(fn bigmath.Func) (*gen.Result, error) {
-			res, _, err := cli.GenerateVerified(fn, common.ProgressiveOptions(false, nil), store)
+			res, _, err := cli.GenerateVerified(ctx, fn, common.ProgressiveOptions(false, nil), store)
 			return res, err
 		}
 		baseFor = func(fn bigmath.Func) (*gen.Result, error) {
-			res, _, err := cli.GenerateVerified(fn, common.BaselineOptions(fn, nil), store)
+			res, _, err := cli.GenerateVerified(ctx, fn, common.BaselineOptions(fn, nil), store)
 			return res, err
 		}
 		largest = fp.MustFormat(common.Bits, 8)

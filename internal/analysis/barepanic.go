@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BarePanic flags panic calls whose argument does not implement error in
+// any package on the coefficient path (the transitive import closure of
+// internal/gen and internal/remez, same scope as wallclock).
+//
+// The pipeline's failure model (DESIGN.md §8) recovers panics at the
+// worker-pool boundary and converts them into typed *fault.Error values
+// carrying stage, function and piece context. That conversion preserves a
+// panic value that already is an error — a bare panic("message") or
+// panic(fmt.Sprintf(...)) instead collapses into an opaque worker-panic
+// fault with no code to dispatch on. Coefficient-path code must therefore
+// panic typed errors (fault.New wrapping the cause); a true can't-happen
+// invariant whose message will never need programmatic handling may carry
+// a //lint:ignore barepanic with that justification.
+var BarePanic = &Analyzer{
+	Name: "barepanic",
+	Doc:  "panic with a non-error value in a package on the generated-coefficient path",
+	Run:  runBarePanic,
+}
+
+func runBarePanic(p *Pass) []Diagnostic {
+	if !p.Pkg.CoeffPath {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	var diags []Diagnostic
+	p.inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "panic" {
+			return true
+		}
+		if b, ok := p.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "panic" {
+			return true
+		}
+		tv, ok := p.Info.Types[call.Args[0]]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		// Only the value type counts: recover() returns the panic value
+		// as-is, so a T whose *T implements error still recovers as a
+		// non-error.
+		if types.Implements(tv.Type, errType) {
+			return true
+		}
+		diags = append(diags, p.report("barepanic", call,
+			"panic(%s) in coefficient-path package %s: panic values must implement error (use fault.New) so pool recovery keeps a typed code", types.TypeString(tv.Type, nil), p.Pkg.ImportPath))
+		return true
+	})
+	return diags
+}

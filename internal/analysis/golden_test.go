@@ -33,6 +33,7 @@ func TestGolden(t *testing.T) {
 		{"bigprec", []*Analyzer{BigPrec}, false},
 		{"poolcapture", []*Analyzer{PoolCapture}, false},
 		{"cachekey", []*Analyzer{CacheKey}, false},
+		{"barepanic", []*Analyzer{BarePanic}, true},
 		// The suppression fixtures run the full registry: suppressed holds
 		// one justified ignore per analyzer (golden is empty), badignore
 		// proves malformed directives are reported and suppress nothing.

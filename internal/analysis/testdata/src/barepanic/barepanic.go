@@ -1,0 +1,35 @@
+// Package barepanic exercises the barepanic analyzer; the test marks this
+// fixture as coefficient-path code, so every panic with a non-error value
+// is a finding while panics carrying error values are not.
+package barepanic
+
+import (
+	"errors"
+	"fmt"
+)
+
+type invariant struct{ msg string }
+
+func (e *invariant) Error() string { return e.msg }
+
+func check(n int) {
+	if n < 0 {
+		panic("negative input")
+	}
+	if n == 1 {
+		panic(fmt.Sprintf("unexpected n=%d", n))
+	}
+	if n == 2 {
+		panic(n)
+	}
+	if n == 3 {
+		panic(errors.New("typed error values are fine"))
+	}
+	if n == 4 {
+		panic(&invariant{msg: "pointer error implementations are fine"})
+	}
+	if n == 5 {
+		// Only *invariant implements error; the recovered value would not.
+		panic(invariant{msg: "value whose pointer implements error still recovers as a non-error"})
+	}
+}

@@ -46,4 +46,11 @@ type opts struct {
 	cached string
 }
 
+func invariant(ok bool) {
+	if !ok {
+		//lint:ignore barepanic can't-happen invariant; the message never needs a typed code.
+		panic("broken invariant")
+	}
+}
+
 func (o opts) Fingerprint() string { return string(rune(o.bits)) }

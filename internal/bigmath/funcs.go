@@ -95,6 +95,7 @@ func (f Func) Float64(x float64) float64 {
 		z := math.Mod(x, 2)
 		return math.Cos(math.Pi * z)
 	}
+	//lint:ignore barepanic exhaustive Func switch; a new enum value is a compile-time change, not a runtime fault.
 	panic("bigmath: bad func")
 }
 
@@ -106,12 +107,14 @@ func (f Func) Float64(x float64) float64 {
 // rounding like any other.
 func Eval(f Func, x float64, prec uint) *big.Float {
 	if math.IsNaN(x) || math.IsInf(x, 0) {
+		//lint:ignore barepanic caller contract: enumeration filters non-finite inputs before the oracle; a violation is a code bug.
 		panic("bigmath: Eval on non-finite input")
 	}
 	w := prec + 32
 	switch f {
 	case Ln, Log2, Log10:
 		if x <= 0 {
+			//lint:ignore barepanic caller contract: reduction classifies non-positive log inputs as structural specials first.
 			panic("bigmath: log of non-positive value")
 		}
 		l := logBig(new(big.Float).SetPrec(w).SetFloat64(x), w)
@@ -148,6 +151,7 @@ func Eval(f Func, x float64, prec uint) *big.Float {
 		_, c := sinCosPiBig(x, prec)
 		return c
 	}
+	//lint:ignore barepanic exhaustive Func switch; a new enum value is a compile-time change, not a runtime fault.
 	panic("bigmath: bad func")
 }
 
@@ -203,6 +207,7 @@ func sinCosPiBig(x float64, prec uint) (sinpi, cospi *big.Float) {
 		case -2:
 			return v.Neg(s22)
 		}
+		//lint:ignore barepanic coefficient is drawn from a fixed literal table; any other value is memory corruption.
 		panic("bigmath: bad octant coefficient")
 	}
 	sp, cp := coef(spNum), coef(cpNum)
@@ -246,5 +251,6 @@ func octant(j int) (sp, cp int) {
 	case 8:
 		return 0, 1
 	}
+	//lint:ignore barepanic octant is x mod 8 by construction; the switch is exhaustive.
 	panic("bigmath: bad octant")
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/big"
 
+	"repro/internal/fault"
 	"repro/internal/fp"
 )
 
@@ -233,7 +234,10 @@ func CorrectlyRounded(f Func, x float64, out fp.Format, mode fp.Mode) uint64 {
 // EvalUnambiguous runs the Ziv loop: it evaluates f(x) at increasing
 // precision until the error envelope [y−ε, y+ε] rounds to a single value of
 // out under mode, then returns that evaluation. The caller must have
-// filtered specials and exact results.
+// filtered specials and exact results. Exhausting zivMaxPrec (which would
+// mean a rounding-boundary result slipped past ExactValue) panics with a
+// typed *fault.Error carrying CodeOracleExhausted; the worker pool
+// recovers the panic and surfaces it with job context.
 func EvalUnambiguous(f Func, x float64, out fp.Format, mode fp.Mode) *big.Float {
 	for prec := uint(zivStartPrec); prec <= zivMaxPrec; prec *= 2 {
 		y := Eval(f, x, prec)
@@ -248,5 +252,7 @@ func EvalUnambiguous(f Func, x float64, out fp.Format, mode fp.Mode) *big.Float 
 			return y
 		}
 	}
-	panic(fmt.Sprintf("bigmath: Ziv loop exhausted for %v(%g)", f, x))
+	panic(fault.New(fault.CodeOracleExhausted, "enumerate", "ziv",
+		fmt.Errorf("bigmath: Ziv loop exhausted for %v(%g) at prec %d", f, x, zivMaxPrec)).
+		WithFunc(f.String()))
 }

@@ -18,6 +18,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/fault"
 	"repro/internal/lp"
 	"repro/internal/poly"
 	"repro/internal/sampling"
@@ -68,6 +69,11 @@ type Config struct {
 	Structure poly.Structure
 	// DisableExact turns off escalation to the exact rational solver.
 	DisableExact bool
+	// ForceExact routes every sample to the exact rational solver instead
+	// of trying the float64 simplex first. The generator's rescue ladder
+	// sets it when float64 numerics are suspected of blocking a solve;
+	// ignored when DisableExact is set.
+	ForceExact bool
 	// StallIters bails out of the solve when BestViolations has not
 	// improved for this many iterations and remains far above
 	// AcceptViolations (0 = 64). The caller treats a stalled attempt like
@@ -80,6 +86,12 @@ type Config struct {
 	// deterministically from the piece identity. Solve keeps no state
 	// between calls beyond the caller's Rng position.
 	Rng *rand.Rand
+	// Faults, when non-nil, enables the solver injection sites
+	// (solver.sample fails one iteration's sample LP; solver.budget
+	// exhausts the solve immediately). Injected failures are counted in
+	// Result.Injected so the caller can discard and deterministically
+	// replay the poisoned solve.
+	Faults *fault.Plan
 }
 
 // Result reports the outcome of a Solve.
@@ -106,6 +118,12 @@ type Result struct {
 	// BestViolated lists the row indices violated at the best iteration;
 	// the caller's term-escalation heuristics use it when Found is false.
 	BestViolated []int
+	// Injected counts fault-injection firings consumed by this solve. A
+	// nonzero count marks the whole result as poisoned: the caller must
+	// discard it and replay the solve with an identically seeded Rng
+	// (occurrence counting has moved past the scheduled faults, so the
+	// replay reproduces the no-fault run exactly).
+	Injected int
 }
 
 func (c *Config) structure() poly.Structure {
@@ -127,6 +145,7 @@ func (c *Config) sampleSize() int {
 func Solve(rows []Row, cfg Config) Result {
 	k := cfg.TotalTerms
 	if k <= 0 {
+		//lint:ignore barepanic API misuse by the generator, not a recoverable runtime condition; gen always passes k >= 1.
 		panic("clarkson: TotalTerms must be positive")
 	}
 	if cfg.XScale == 0 {
@@ -169,7 +188,21 @@ func Solve(rows []Row, cfg Config) Result {
 	var candViolated []int
 
 	for res.Iters < cfg.MaxIters {
+		if cfg.Faults.Should(fault.SiteSolverBudget) {
+			// Injected budget exhaustion: give up immediately, as if the
+			// iteration cut-off had been reached without a solution.
+			res.Injected++
+			res.LastErr = fault.Injected(fault.SiteSolverBudget)
+			break
+		}
 		res.Iters++
+		if cfg.Faults.Should(fault.SiteSolverSample) {
+			// Injected sample failure: this iteration's LP "fails
+			// numerically" in both the float64 and exact solvers.
+			res.Injected++
+			res.LastErr = fault.Injected(fault.SiteSolverSample)
+			continue
+		}
 		idx := sampling.Weighted(weights, sample, rng)
 		coeffs, exact, infeasible, solveErr, ok := solveSample(rows, idx, k, cfg)
 		if exact {
@@ -323,14 +356,14 @@ func solveSample(rows []Row, idx []int, k int, cfg Config) (coeffs []float64, us
 	}
 	var sol lp.Solution
 	var err error
-	if hasEquality && !cfg.DisableExact {
+	if (hasEquality || cfg.ForceExact) && !cfg.DisableExact {
 		sol, err = solveExact()
 	} else {
 		sol, err = lp.SolveMaxMargin(prob)
 		// The float simplex's infeasibility verdict is an epsilon
 		// judgement, not a certificate — confirm (or refute) it with the
 		// exact solver before letting it cut the search.
-		if (err == lp.ErrNumeric || err == lp.ErrInfeasible) && !cfg.DisableExact {
+		if lp.Uncertain(err) && !cfg.DisableExact {
 			sol, err = solveExact()
 		}
 	}

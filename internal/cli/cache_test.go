@@ -2,6 +2,7 @@ package cli_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -48,11 +49,11 @@ func baseOpts(workers int) gen.Options {
 // the Table 1 report over them.
 func snapshot(t *testing.T, store *pipeline.Store, workers int) (emitProg, emitBase, table []byte) {
 	t.Helper()
-	prog, _, err := cli.GenerateVerified(testFn, progOpts(workers), store)
+	prog, _, err := cli.GenerateVerified(context.Background(), testFn, progOpts(workers), store)
 	if err != nil {
 		t.Fatalf("GenerateVerified(progressive, workers=%d): %v", workers, err)
 	}
-	base, _, err := cli.GenerateVerified(testFn, baseOpts(workers), store)
+	base, _, err := cli.GenerateVerified(context.Background(), testFn, baseOpts(workers), store)
 	if err != nil {
 		t.Fatalf("GenerateVerified(baseline, workers=%d): %v", workers, err)
 	}
@@ -133,12 +134,12 @@ func TestCacheResume(t *testing.T) {
 	opt := progOpts(2)
 
 	first := openStore(t, dir)
-	if _, _, err := gen.EnumerateStaged(testFn, opt, first); err != nil {
+	if _, _, err := gen.EnumerateStaged(context.Background(), testFn, opt, first); err != nil {
 		t.Fatalf("EnumerateStaged: %v", err)
 	}
 
 	resumed := openStore(t, dir)
-	res, err := gen.GenerateStaged(testFn, opt, resumed)
+	res, err := gen.GenerateStaged(context.Background(), testFn, opt, resumed)
 	if err != nil {
 		t.Fatalf("GenerateStaged: %v", err)
 	}
@@ -149,7 +150,7 @@ func TestCacheResume(t *testing.T) {
 		t.Errorf("resumed run re-enumerated %d times", n)
 	}
 
-	pure, err := gen.GenerateStaged(testFn, opt, nil)
+	pure, err := gen.GenerateStaged(context.Background(), testFn, opt, nil)
 	if err != nil {
 		t.Fatalf("GenerateStaged(no store): %v", err)
 	}
@@ -187,7 +188,7 @@ func TestCacheCorruption(t *testing.T) {
 	opt := progOpts(2)
 	opt.Logf = logf
 	warm := openStore(t, dir)
-	prog, _, err := cli.GenerateVerified(testFn, opt, warm)
+	prog, _, err := cli.GenerateVerified(context.Background(), testFn, opt, warm)
 	if err != nil {
 		t.Fatalf("GenerateVerified over corrupt cache: %v", err)
 	}

@@ -7,11 +7,13 @@
 package cli
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"runtime"
+	"time"
 
 	"repro/internal/bigmath"
 	"repro/internal/fp"
@@ -26,7 +28,9 @@ type Common struct {
 	// Workers bounds worker goroutines; generated output is bit-identical
 	// for every value. Must be ≥ 1 (Validate rejects silent defaulting).
 	Workers int
-	// Seed drives all randomness; runs are reproducible.
+	// Seed drives all randomness; runs are reproducible. Must be ≥ 0
+	// (negative seeds are reserved: the rescue ladder XORs published salts
+	// into the seed, and a sign bit would silently alias rotated streams).
 	Seed int64
 	// Bits is the width of the largest representation.
 	Bits int
@@ -34,6 +38,10 @@ type Common struct {
 	// caching, as does NoCache.
 	CacheDir string
 	NoCache  bool
+	// Timeout, when positive, bounds the whole run: the Context this
+	// package hands to the pipeline is canceled after it and every stage
+	// returns a typed canceled fault, leaving the cache resumable.
+	Timeout time.Duration
 }
 
 // Register installs the shared flags into fs (use flag.CommandLine for a
@@ -48,6 +56,8 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.StringVar(&c.CacheDir, "cache-dir", DefaultCacheDir(),
 		"artifact cache directory (empty disables caching)")
 	fs.BoolVar(&c.NoCache, "no-cache", false, "disable the artifact cache")
+	fs.DurationVar(&c.Timeout, "timeout", 0,
+		"abort the run after this duration (0 disables); an aborted run leaves the cache resumable")
 	return c
 }
 
@@ -57,10 +67,26 @@ func (c *Common) Validate() error {
 	if c.Workers < 1 {
 		return fmt.Errorf("-workers must be at least 1, got %d (use 1 for a serial run)", c.Workers)
 	}
+	if c.Seed < 0 {
+		return fmt.Errorf("-seed must be non-negative, got %d", c.Seed)
+	}
 	if c.Bits < 2 {
 		return fmt.Errorf("-bits must be at least 2, got %d", c.Bits)
 	}
+	if c.Timeout < 0 {
+		return fmt.Errorf("-timeout must be non-negative, got %v", c.Timeout)
+	}
 	return nil
+}
+
+// Context returns the run context selected by the flags: background, or a
+// deadline c.Timeout from now. The caller must invoke cancel (deferred)
+// regardless of which was returned.
+func (c *Common) Context() (context.Context, context.CancelFunc) {
+	if c.Timeout > 0 {
+		return context.WithTimeout(context.Background(), c.Timeout)
+	}
+	return context.WithCancel(context.Background())
 }
 
 // DefaultCacheDir returns the default artifact cache location: the user
@@ -139,15 +165,18 @@ func (c *Common) BaselineOptions(fn bigmath.Func, logf func(string, ...interface
 //
 // This lives here rather than in internal/gen because the verify stage
 // needs internal/verify, which itself imports gen.
-func GenerateVerified(fn bigmath.Func, opt gen.Options, store *pipeline.Store) (res *gen.Result, patched int, err error) {
+func GenerateVerified(ctx context.Context, fn bigmath.Func, opt gen.Options, store *pipeline.Store) (res *gen.Result, patched int, err error) {
 	orc := opt.Oracle
 	if orc == nil {
 		orc = oracle.New(fn)
 		opt.Oracle = orc
 	}
-	res, _, err = pipeline.Run(store, gen.VerifyKey(fn, opt), gen.ResultCodec,
+	if opt.Faults != nil {
+		orc.SetFaults(opt.Faults)
+	}
+	res, _, err = pipeline.Run(ctx, store, gen.VerifyKey(fn, opt), gen.ResultCodec,
 		pipeline.Logf(opt.Logf), func() (*gen.Result, error) {
-			r, err := gen.GenerateStaged(fn, opt, store)
+			r, err := gen.GenerateStaged(ctx, fn, opt, store)
 			if err != nil {
 				return nil, err
 			}

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cli"
 )
@@ -30,6 +31,45 @@ func TestValidateRejectsBadBits(t *testing.T) {
 	c := &cli.Common{Workers: 1, Bits: 1}
 	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "-bits") {
 		t.Errorf("Validate(-bits=1) = %v, want an error naming -bits", err)
+	}
+}
+
+func TestValidateRejectsNegativeSeed(t *testing.T) {
+	for _, seed := range []int64{-1, -42} {
+		c := &cli.Common{Workers: 1, Bits: 16, Seed: seed}
+		if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "-seed") {
+			t.Errorf("Validate(-seed=%d) = %v, want an error naming -seed", seed, err)
+		}
+	}
+	c := &cli.Common{Workers: 1, Bits: 16, Seed: 0}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate rejected -seed=0: %v", err)
+	}
+}
+
+func TestValidateRejectsNegativeTimeout(t *testing.T) {
+	c := &cli.Common{Workers: 1, Bits: 16, Timeout: -time.Second}
+	if err := c.Validate(); err == nil || !strings.Contains(err.Error(), "-timeout") {
+		t.Errorf("Validate(-timeout=-1s) = %v, want an error naming -timeout", err)
+	}
+	c = &cli.Common{Workers: 1, Bits: 16, Timeout: time.Minute}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate rejected a positive timeout: %v", err)
+	}
+}
+
+func TestContextHonorsTimeout(t *testing.T) {
+	c := &cli.Common{Workers: 1, Bits: 16, Timeout: time.Millisecond}
+	ctx, cancel := c.Context()
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Errorf("Context with -timeout set has no deadline")
+	}
+	c = &cli.Common{Workers: 1, Bits: 16}
+	ctx, cancel = c.Context()
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Errorf("Context without -timeout has a deadline")
 	}
 }
 

@@ -1,0 +1,246 @@
+package cli_test
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/fault"
+	"repro/internal/gen"
+	"repro/internal/pipeline"
+)
+
+// The failure-model acceptance tests: every injection site, at its first
+// and a later occurrence, at one and four workers, must either recover to
+// a byte-identical result or fail with a typed *fault.Error — never crash
+// the process, never leave a corrupt or partial artifact in the cache, and
+// always leave the cache resumable by a fault-free rerun.
+
+// faultBaseline generates the no-fault reference once: the emitted table
+// bytes and the per-file artifact digests of a cold workers=1 run.
+type faultBaseline struct {
+	emit      []byte
+	artifacts map[string][32]byte // store-relative path → content hash
+}
+
+var faultRef *faultBaseline
+
+func faultReference(t *testing.T) *faultBaseline {
+	t.Helper()
+	if faultRef != nil {
+		return faultRef
+	}
+	dir := filepath.Join(t.TempDir(), "ref")
+	store := openStore(t, dir)
+	res, _, err := cli.GenerateVerified(context.Background(), testFn, progOpts(1), store)
+	if err != nil {
+		t.Fatalf("no-fault reference run: %v", err)
+	}
+	faultRef = &faultBaseline{
+		emit:      []byte(gen.EmitGo(res, "libm", "registerTest")),
+		artifacts: artifactDigests(t, dir),
+	}
+	return faultRef
+}
+
+// artifactDigests hashes every artifact in the store, keyed by path
+// relative to the store root.
+func artifactDigests(t *testing.T, dir string) map[string][32]byte {
+	t.Helper()
+	out := make(map[string][32]byte)
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		rel, rerr := filepath.Rel(dir, path)
+		if rerr != nil {
+			return rerr
+		}
+		out[rel] = sha256.Sum256(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk %s: %v", dir, err)
+	}
+	return out
+}
+
+// checkScenarioRun asserts the per-run contract: success means the emitted
+// bytes equal the no-fault reference; failure means a typed *fault.Error.
+func checkScenarioRun(t *testing.T, ref *faultBaseline, res *gen.Result, err error, run string) {
+	t.Helper()
+	if err != nil {
+		var fe *fault.Error
+		if !errors.As(err, &fe) {
+			t.Fatalf("%s: error is not a *fault.Error: %v", run, err)
+		}
+		if fe.Code == "" || fe.Stage == "" {
+			t.Fatalf("%s: fault error missing code/stage context: %+v", run, fe)
+		}
+		return
+	}
+	if got := []byte(gen.EmitGo(res, "libm", "registerTest")); !bytes.Equal(got, ref.emit) {
+		t.Errorf("%s: recovered run emitted different bytes than the no-fault reference", run)
+	}
+}
+
+// checkStore asserts the cache is sound after a scenario run: no temp or
+// corrupt files, and every artifact present is byte-identical to the
+// reference run's artifact at the same address.
+func checkStore(t *testing.T, ref *faultBaseline, store *pipeline.Store, run string) {
+	t.Helper()
+	if err := store.Audit(); err != nil {
+		t.Errorf("%s: store audit: %v", run, err)
+	}
+	for rel, sum := range artifactDigests(t, store.Dir()) {
+		want, known := ref.artifacts[rel]
+		if !known {
+			// Artifact at an address the reference run never wrote — the
+			// keys are deterministic, so this is corruption by definition.
+			t.Errorf("%s: unexpected artifact %s", run, rel)
+			continue
+		}
+		if sum != want {
+			t.Errorf("%s: artifact %s differs from the no-fault reference", run, rel)
+		}
+	}
+}
+
+// TestFaultMatrix drives every injection site at its first and third
+// occurrence, at one and four workers: two injected runs against one
+// store, then a fault-free resume run that must converge to the reference
+// bytes no matter what the injected runs did.
+func TestFaultMatrix(t *testing.T) {
+	ref := faultReference(t)
+	for _, site := range fault.Sites() {
+		for _, occurrence := range []int{1, 3} {
+			for _, workers := range []int{1, 4} {
+				site, occurrence, workers := site, occurrence, workers
+				name := string(site) + "/" + map[int]string{1: "first", 3: "third"}[occurrence] +
+					"/" + map[int]string{1: "w1", 4: "w4"}[workers]
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					dir := t.TempDir()
+					plan := fault.NewPlan().At(site, occurrence)
+					opt := progOpts(workers)
+					opt.Faults = plan
+
+					store := openStore(t, dir)
+					store.SetFaults(plan)
+					res, _, err := cli.GenerateVerified(context.Background(), testFn, opt, store)
+					checkScenarioRun(t, ref, res, err, "cold")
+					checkStore(t, ref, store, "cold")
+
+					// Second run against the same store: exercises the
+					// read-side sites on a warm cache (the cold run may not
+					// have reached the scheduled occurrence).
+					res, _, err = cli.GenerateVerified(context.Background(), testFn, opt, store)
+					checkScenarioRun(t, ref, res, err, "warm")
+					checkStore(t, ref, store, "warm")
+
+					// Fault-free resume: whatever the injected runs did, a
+					// clean run over the same cache must produce the
+					// reference bytes.
+					clean := openStore(t, dir)
+					opt.Faults = nil
+					res, _, err = cli.GenerateVerified(context.Background(), testFn, opt, clean)
+					if err != nil {
+						t.Fatalf("resume: %v", err)
+					}
+					checkScenarioRun(t, ref, res, err, "resume")
+					checkStore(t, ref, clean, "resume")
+				})
+			}
+		}
+	}
+}
+
+// TestFaultUnrecoverable drives keeps-on-firing plans: the run must fail
+// with a typed, context-carrying *fault.Error (never a process panic), the
+// cache must stay sound, and a fault-free rerun must recover completely.
+func TestFaultUnrecoverable(t *testing.T) {
+	ref := faultReference(t)
+	cases := []struct {
+		site fault.Site
+		code fault.Code
+	}{
+		{fault.SiteSolverSample, fault.CodeInjected},
+		{fault.SiteWorkerPanic, fault.CodeWorkerPanic},
+		{fault.SiteOracleZiv, fault.CodeOracleExhausted},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(string(tc.site), func(t *testing.T) {
+			t.Parallel()
+			dir := t.TempDir()
+			plan := fault.NewPlan().From(tc.site, 1)
+			opt := progOpts(4)
+			opt.Faults = plan
+
+			store := openStore(t, dir)
+			store.SetFaults(plan)
+			_, _, err := cli.GenerateVerified(context.Background(), testFn, opt, store)
+			if err == nil {
+				t.Fatalf("keeps-on-firing %s: run unexpectedly succeeded", tc.site)
+			}
+			var fe *fault.Error
+			if !errors.As(err, &fe) {
+				t.Fatalf("error is not a *fault.Error: %v", err)
+			}
+			if fe.Code != tc.code {
+				t.Errorf("code = %s, want %s (err: %v)", fe.Code, tc.code, err)
+			}
+			if fe.Stage == "" || fe.Func == "" {
+				t.Errorf("fault error missing stage/function context: %+v", fe)
+			}
+			checkStore(t, ref, store, "failed")
+
+			clean := openStore(t, dir)
+			opt.Faults = nil
+			res, _, rerr := cli.GenerateVerified(context.Background(), testFn, opt, clean)
+			if rerr != nil {
+				t.Fatalf("resume after unrecoverable fault: %v", rerr)
+			}
+			checkScenarioRun(t, ref, res, rerr, "resume")
+			checkStore(t, ref, clean, "resume")
+		})
+	}
+}
+
+// TestFaultStoreNeverCorrupt floods the store paths with write and read
+// faults at every occurrence and demands the pipeline still converge: the
+// cache is an optimization, never a correctness dependency.
+func TestFaultStoreNeverCorrupt(t *testing.T) {
+	ref := faultReference(t)
+	plan := fault.NewPlan().
+		From(fault.SiteStoreWrite, 1).
+		From(fault.SiteStoreRead, 1)
+	opt := progOpts(2)
+	opt.Faults = plan
+
+	dir := t.TempDir()
+	store := openStore(t, dir)
+	store.SetFaults(plan)
+	res, _, err := cli.GenerateVerified(context.Background(), testFn, opt, store)
+	if err != nil {
+		t.Fatalf("run with every store operation failing: %v", err)
+	}
+	if got := []byte(gen.EmitGo(res, "libm", "registerTest")); !bytes.Equal(got, ref.emit) {
+		t.Errorf("storeless-by-fault run emitted different bytes")
+	}
+	if err := store.Audit(); err != nil {
+		t.Errorf("store audit: %v", err)
+	}
+	if n := len(artifactDigests(t, dir)); n != 0 {
+		t.Errorf("store with every write failing persisted %d artifacts", n)
+	}
+}

@@ -1,0 +1,139 @@
+// Package fault defines the pipeline's typed error taxonomy and a seeded,
+// deterministic fault-injection harness.
+//
+// Every recoverable failure on the coefficient-generation path — oracle
+// Ziv-loop exhaustion, Clarkson sample infeasibility, artifact-store I/O,
+// worker panics, cancellation — is surfaced as a *fault.Error carrying the
+// pipeline stage, elementary function, kernel/piece coordinates, attempt
+// number and a stable machine-readable Code. Callers branch on Code (or on
+// errors.As/Is); humans grep the README troubleshooting table for it.
+//
+// Injection is controlled by a Plan: a deterministic map from injection
+// site to the set of occurrence indices (1-based) at which the site fires.
+// With a nil Plan every probe is free and answers false, so the production
+// path carries no configuration. Occurrence counting is mutex-guarded and
+// therefore reproducible under -race for any worker count, as long as the
+// set of probe calls itself is deterministic (which the pipeline's
+// replay-on-injection retry guarantees).
+package fault
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Code is a stable, machine-readable error class. Codes are part of the
+// artifact/troubleshooting contract: never renumber or reuse them.
+type Code string
+
+const (
+	// CodeOracleExhausted: the Ziv rounding loop hit its precision cap
+	// without disambiguating a rounding decision.
+	CodeOracleExhausted Code = "oracle-exhausted"
+	// CodeSolverNumeric: the LP solver (float64 and exact escalation)
+	// reported a numeric failure for a sample.
+	CodeSolverNumeric Code = "solver-numeric"
+	// CodeSolverInfeasible: the exact rational solver certified the
+	// constraint system infeasible.
+	CodeSolverInfeasible Code = "solver-infeasible"
+	// CodeSolverBudget: the Clarkson iteration budget was exhausted and
+	// the rescue ladder (seed rotation, budget escalation, degradation)
+	// ran dry without finding a polynomial.
+	CodeSolverBudget Code = "solver-budget"
+	// CodeStoreIO: the artifact store failed to read or write an
+	// artifact (including short writes). Always recoverable — caching is
+	// an optimization, the pipeline recomputes.
+	CodeStoreIO Code = "store-io"
+	// CodeArtifactCorrupt: a cached artifact failed its checksum or
+	// decode; the store deletes it and the stage regenerates.
+	CodeArtifactCorrupt Code = "artifact-corrupt"
+	// CodeWorkerPanic: a worker goroutine in the parallel pool panicked;
+	// the pool recovered it and attached job context.
+	CodeWorkerPanic Code = "worker-panic"
+	// CodeCanceled: the run's context was canceled or timed out; the
+	// pipeline stopped at a stage boundary and the cache is resumable.
+	CodeCanceled Code = "canceled"
+	// CodeInjected: a fault-injection probe fired more times than any
+	// retry budget allows; only ever seen under a test Plan.
+	CodeInjected Code = "injected"
+)
+
+// Error is the typed pipeline error. Zero-valued coordinate fields mean
+// "not applicable" (e.g. a store fault has no piece index; Piece and
+// Kernel use -1 for n/a so piece 0 stays representable).
+type Error struct {
+	Code    Code   // stable class, see the Code constants
+	Stage   string // pipeline stage ("enumerate", "reduce", "solve", "verify", "store")
+	Func    string // elementary function, e.g. "log2" (empty if n/a)
+	Op      string // finer-grained operation or injection site
+	Kernel  int    // kernel index within the function's scheme, -1 if n/a
+	Piece   int    // piece index within the kernel, -1 if n/a
+	Attempt int    // 1-based attempt number when a retry policy is active, 0 if n/a
+	Err     error  // wrapped cause, may be nil
+}
+
+// New constructs an Error with n/a coordinates; callers fill in what they
+// know via the fields or the With* helpers.
+func New(code Code, stage, op string, err error) *Error {
+	return &Error{Code: code, Stage: stage, Op: op, Kernel: -1, Piece: -1, Err: err}
+}
+
+// WithFunc returns e with the elementary-function name set.
+func (e *Error) WithFunc(fn string) *Error { e.Func = fn; return e }
+
+// WithPiece returns e with kernel/piece coordinates set.
+func (e *Error) WithPiece(kernel, piece int) *Error { e.Kernel, e.Piece = kernel, piece; return e }
+
+// WithAttempt returns e with the 1-based attempt number set.
+func (e *Error) WithAttempt(n int) *Error { e.Attempt = n; return e }
+
+func (e *Error) Error() string {
+	s := fmt.Sprintf("fault[%s]", e.Code)
+	if e.Stage != "" {
+		s += " stage=" + e.Stage
+	}
+	if e.Func != "" {
+		s += " func=" + e.Func
+	}
+	if e.Op != "" {
+		s += " op=" + e.Op
+	}
+	if e.Kernel >= 0 {
+		s += fmt.Sprintf(" kernel=%d", e.Kernel)
+	}
+	if e.Piece >= 0 {
+		s += fmt.Sprintf(" piece=%d", e.Piece)
+	}
+	if e.Attempt > 0 {
+		s += fmt.Sprintf(" attempt=%d", e.Attempt)
+	}
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+// Unwrap exposes the cause to errors.Is/As chains.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Is lets errors.Is match a bare code probe: errors.Is(err,
+// &fault.Error{Code: fault.CodeStoreIO}) is true for any store-io fault.
+func (e *Error) Is(target error) bool {
+	t, ok := target.(*Error)
+	if !ok {
+		return false
+	}
+	return t.Code == e.Code &&
+		(t.Stage == "" || t.Stage == e.Stage) &&
+		(t.Func == "" || t.Func == e.Func)
+}
+
+// CodeOf returns the Code of the outermost *fault.Error in err's chain,
+// or "" if there is none.
+func CodeOf(err error) Code {
+	var fe *Error
+	if errors.As(err, &fe) {
+		return fe.Code
+	}
+	return ""
+}

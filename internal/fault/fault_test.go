@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestErrorStringAndChain(t *testing.T) {
+	cause := errors.New("disk full")
+	e := New(CodeStoreIO, "solve", "write", cause).WithFunc("log2").WithPiece(1, 3).WithAttempt(2)
+	got := e.Error()
+	for _, want := range []string{"fault[store-io]", "stage=solve", "func=log2", "op=write",
+		"kernel=1", "piece=3", "attempt=2", "disk full"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Error() = %q, missing %q", got, want)
+		}
+	}
+	if !errors.Is(e, cause) {
+		t.Error("errors.Is(e, cause) = false, want true")
+	}
+	var fe *Error
+	if !errors.As(fmt.Errorf("wrapped: %w", e), &fe) || fe.Code != CodeStoreIO {
+		t.Error("errors.As through a wrap failed")
+	}
+	if CodeOf(fmt.Errorf("wrapped: %w", e)) != CodeStoreIO {
+		t.Error("CodeOf through a wrap failed")
+	}
+	if CodeOf(errors.New("plain")) != "" {
+		t.Error("CodeOf(plain) should be empty")
+	}
+}
+
+func TestErrorIsMatchesBareCode(t *testing.T) {
+	e := New(CodeSolverBudget, "solve", "clarkson", nil).WithFunc("exp")
+	if !errors.Is(e, &Error{Code: CodeSolverBudget}) {
+		t.Error("bare-code probe should match")
+	}
+	if errors.Is(e, &Error{Code: CodeStoreIO}) {
+		t.Error("different code must not match")
+	}
+	if errors.Is(e, &Error{Code: CodeSolverBudget, Func: "log2"}) {
+		t.Error("different func must not match")
+	}
+}
+
+func TestNilPlanNeverFires(t *testing.T) {
+	var p *Plan
+	for i := 0; i < 3; i++ {
+		if p.Should(SiteStoreWrite) {
+			t.Fatal("nil plan fired")
+		}
+	}
+	if p.Count(SiteStoreWrite) != 0 {
+		t.Error("nil plan counted")
+	}
+	p.Reset() // must not panic
+}
+
+func TestPlanOccurrenceKeying(t *testing.T) {
+	p := NewPlan().At(SiteSolverSample, 2, 4)
+	var fired []int
+	for i := 1; i <= 5; i++ {
+		if p.Should(SiteSolverSample) {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 4 {
+		t.Errorf("fired at %v, want [2 4]", fired)
+	}
+	if p.Count(SiteSolverSample) != 5 {
+		t.Errorf("Count = %d, want 5", p.Count(SiteSolverSample))
+	}
+	// Other sites are independent.
+	if p.Should(SiteStoreRead) {
+		t.Error("unscheduled site fired")
+	}
+}
+
+func TestPlanFrom(t *testing.T) {
+	p := NewPlan().From(SiteSolverBudget, 3)
+	want := []bool{false, false, true, true, true}
+	for i, w := range want {
+		if got := p.Should(SiteSolverBudget); got != w {
+			t.Errorf("occurrence %d: fired=%v, want %v", i+1, got, w)
+		}
+	}
+	p.Reset()
+	if p.Should(SiteSolverBudget) {
+		t.Error("after Reset occurrence 1 must not fire")
+	}
+}
+
+func TestPlanConcurrentDeterministicTotal(t *testing.T) {
+	// Under concurrency the firing order is scheduler-dependent, but the
+	// total number of fires is exactly the number of scheduled
+	// occurrences that were reached.
+	p := NewPlan().At(SiteWorkerPanic, 1, 50, 100)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fires := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				if p.Should(SiteWorkerPanic) {
+					mu.Lock()
+					fires++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if p.Count(SiteWorkerPanic) != 200 {
+		t.Errorf("Count = %d, want 200", p.Count(SiteWorkerPanic))
+	}
+	if fires != 3 {
+		t.Errorf("fires = %d, want 3", fires)
+	}
+}
+
+func TestSitesCoversAllConstants(t *testing.T) {
+	sites := Sites()
+	seen := make(map[Site]bool, len(sites))
+	for _, s := range sites {
+		if seen[s] {
+			t.Errorf("duplicate site %s", s)
+		}
+		seen[s] = true
+	}
+	if len(sites) != 8 {
+		t.Errorf("Sites() has %d entries, want 8 — update Sites() when adding a Site constant", len(sites))
+	}
+}

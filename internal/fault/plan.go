@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Site names one injection point in the pipeline. Sites are compiled into
+// the production code as cheap probes (`plan.Should(site)`); a nil *Plan
+// answers false, so non-test runs never inject.
+type Site string
+
+const (
+	// SiteStoreWrite: the artifact store's write fails with an I/O error
+	// before anything is renamed into place.
+	SiteStoreWrite Site = "store.write"
+	// SiteStoreWriteShort: the temp-file write persists fewer bytes than
+	// requested (ENOSPC-style short write).
+	SiteStoreWriteShort Site = "store.write.short"
+	// SiteStoreRead: reading a cached artifact fails with an I/O error
+	// (treated as a miss — the stage recomputes).
+	SiteStoreRead Site = "store.read"
+	// SiteStoreBitFlip: a cached artifact is returned with one byte
+	// corrupted, exercising checksum detection → delete → regenerate.
+	SiteStoreBitFlip Site = "store.read.bitflip"
+	// SiteSolverSample: one Clarkson iteration's sample LP reports a
+	// numeric failure (float64 and exact escalation both "fail").
+	SiteSolverSample Site = "solver.sample"
+	// SiteSolverBudget: a Clarkson solve exhausts its iteration budget
+	// immediately.
+	SiteSolverBudget Site = "solver.budget"
+	// SiteWorkerPanic: a worker goroutine in the solve pool panics
+	// mid-job.
+	SiteWorkerPanic Site = "worker.panic"
+	// SiteOracleZiv: the oracle's Ziv loop exhausts its precision budget
+	// for one input.
+	SiteOracleZiv Site = "oracle.ziv"
+)
+
+// Sites lists every built-in injection site in deterministic order, for
+// matrix tests that must cover all of them.
+func Sites() []Site {
+	return []Site{
+		SiteStoreWrite, SiteStoreWriteShort, SiteStoreRead, SiteStoreBitFlip,
+		SiteSolverSample, SiteSolverBudget, SiteWorkerPanic, SiteOracleZiv,
+	}
+}
+
+// rule selects occurrences of a site. If forever is set the rule fires at
+// every occurrence >= at; otherwise exactly at occurrence at (1-based).
+type rule struct {
+	at      int
+	forever bool
+}
+
+// Plan is a deterministic injection schedule keyed by site and occurrence
+// count. All methods are safe for concurrent use; the nil Plan is valid
+// and never fires.
+type Plan struct {
+	mu     sync.Mutex
+	rules  map[Site][]rule
+	counts map[Site]int
+}
+
+// NewPlan returns an empty plan; compose it with At/From.
+func NewPlan() *Plan {
+	return &Plan{rules: make(map[Site][]rule), counts: make(map[Site]int)}
+}
+
+// At schedules the site to fire at each listed 1-based occurrence.
+func (p *Plan) At(site Site, occurrences ...int) *Plan {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, n := range occurrences {
+		if n < 1 {
+			//lint:ignore barepanic test-plan construction bug, caught at the call site; never crosses a pool boundary.
+			panic(fmt.Sprintf("fault: occurrence must be >= 1, got %d", n))
+		}
+		p.rules[site] = append(p.rules[site], rule{at: n})
+	}
+	return p
+}
+
+// From schedules the site to fire at every occurrence >= the given
+// 1-based occurrence (an unrecoverable, keeps-on-firing fault).
+func (p *Plan) From(site Site, occurrence int) *Plan {
+	if occurrence < 1 {
+		//lint:ignore barepanic test-plan construction bug, caught at the call site; never crosses a pool boundary.
+		panic(fmt.Sprintf("fault: occurrence must be >= 1, got %d", occurrence))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rules[site] = append(p.rules[site], rule{at: occurrence, forever: true})
+	return p
+}
+
+// Should records one occurrence of the site and reports whether the plan
+// fires there. Nil-safe: a nil plan never fires and records nothing.
+func (p *Plan) Should(site Site) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.counts[site]++
+	n := p.counts[site]
+	for _, r := range p.rules[site] {
+		if r.forever && n >= r.at {
+			return true
+		}
+		if !r.forever && n == r.at {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns how many times the site has been probed so far.
+func (p *Plan) Count(site Site) int {
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts[site]
+}
+
+// Counts returns a snapshot of all probe counters, for test diagnostics.
+func (p *Plan) Counts() map[Site]int {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[Site]int, len(p.counts))
+	for s, n := range p.counts {
+		out[s] = n
+	}
+	return out
+}
+
+// Reset zeroes the occurrence counters but keeps the rules, so one plan
+// can drive several identical runs.
+func (p *Plan) Reset() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.counts = make(map[Site]int)
+}
+
+// Injected constructs the error reported by a fired injection site.
+func Injected(site Site) error {
+	return fmt.Errorf("injected fault at %s", site)
+}

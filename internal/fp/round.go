@@ -130,6 +130,7 @@ func (f Format) overflowBits(m Mode, negative bool) uint64 {
 		}
 		return f.MaxFinite()
 	}
+	//lint:ignore barepanic exhaustive Mode switch; a new rounding mode is a compile-time change.
 	panic("fp: bad mode")
 }
 
@@ -160,6 +161,7 @@ func (f Format) assembleBits(m Mode, n uint64, qe int, negative bool) uint64 {
 		// Subnormal result: valid only at the subnormal quantum.
 		bits = n
 		if qe != f.EMin()-int(p) {
+			//lint:ignore barepanic arithmetic invariant of the quantization; proven by the format algebra, not reachable from inputs.
 			panic("fp: subnormal magnitude at non-subnormal quantum")
 		}
 	} else {
@@ -266,6 +268,7 @@ func (f Format) FromBig(x *big.Float, m Mode) uint64 {
 	mantf.SetMantExp(mantf, prec) // now an integer value
 	mant, acc := mantf.Int(nil)
 	if acc != big.Exact {
+		//lint:ignore barepanic mantf was just shifted to an integer value; inexact extraction is impossible by construction.
 		panic("fp: inexact mantissa extraction")
 	}
 	e2 := exp - prec

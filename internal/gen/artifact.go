@@ -198,14 +198,17 @@ var constraintCodec = pipeline.Codec[*constraintSet]{
 }
 
 // ResultCodec encodes a generated Result for the solve and verify stage
-// artifacts. The volatile Stats fields — Duration (wall clock) and Oracle
-// (path counters that depend on cache warmth) — are deliberately excluded:
-// everything encoded is deterministic, so a warm decode is bit-identical
-// to the cold result. Exported for internal/cli, which stages the verify
-// pass around internal/verify (gen cannot import verify).
+// artifacts. The volatile Stats fields — Duration (wall clock), Oracle
+// (path counters that depend on cache warmth) and Retries (injected-fault
+// replays) — are deliberately excluded: everything encoded is
+// deterministic, so a warm decode is bit-identical to the cold result.
+// Version 2 added the rescue-ladder consumption counters (SeedRotations,
+// BudgetEscalations, Degradations). Exported for internal/cli, which
+// stages the verify pass around internal/verify (gen cannot import
+// verify).
 var ResultCodec = pipeline.Codec[*Result]{
 	Name:    "gen-result",
-	Version: 1,
+	Version: 2,
 	Encode: func(e *pipeline.Enc, res *Result) {
 		e.Int(int(res.Fn))
 		encodeLevels(e, res.Levels)
@@ -242,6 +245,9 @@ var ResultCodec = pipeline.Codec[*Result]{
 		e.Int(res.Stats.Lucky)
 		e.Int(res.Stats.ExactSolves)
 		e.Int(res.Stats.Attempts)
+		e.Int(res.Stats.SeedRotations)
+		e.Int(res.Stats.BudgetEscalations)
+		e.Int(res.Stats.Degradations)
 	},
 	Decode: func(d *pipeline.Dec) (*Result, error) {
 		res := &Result{Fn: bigmath.Func(d.Int())}
@@ -292,6 +298,9 @@ var ResultCodec = pipeline.Codec[*Result]{
 		res.Stats.Lucky = d.Int()
 		res.Stats.ExactSolves = d.Int()
 		res.Stats.Attempts = d.Int()
+		res.Stats.SeedRotations = d.Int()
+		res.Stats.BudgetEscalations = d.Int()
+		res.Stats.Degradations = d.Int()
 		return res, d.Err()
 	},
 }

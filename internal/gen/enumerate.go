@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"context"
 	"math"
 	"math/big"
 
@@ -156,9 +157,12 @@ func dedupSkipBitmaps(scheme reduction.Scheme, levels []fp.Format) [][]uint64 {
 // enumeration is sharded over contiguous bit-ranges and run on up to
 // workers goroutines against the shared concurrency-safe oracle; shard
 // outputs are concatenated in deterministic shard order, so the result is
-// bit-identical to a serial run for every worker count.
-func enumerate(fn bigmath.Func, scheme reduction.Scheme, orc *oracle.Oracle,
-	levels []fp.Format, progressiveRO bool, workers int, logf func(string, ...interface{})) *rawSet {
+// bit-identical to a serial run for every worker count. An oracle panic
+// (Ziv exhaustion, real or injected) is recovered by the pool and returned
+// as a typed *fault.Error with shard context; cancellation aborts between
+// shards.
+func enumerate(ctx context.Context, fn bigmath.Func, scheme reduction.Scheme, orc *oracle.Oracle,
+	levels []fp.Format, progressiveRO bool, workers int, logf func(string, ...interface{})) (*rawSet, error) {
 
 	nk := scheme.NumPolys()
 	rs := &rawSet{
@@ -188,9 +192,12 @@ func enumerate(fn bigmath.Func, scheme reduction.Scheme, orc *oracle.Oracle,
 		}
 		shards := parallel.SplitRange(lvl.NumValues(), parallel.ShardCount(workers))
 		outs := make([]enumShard, len(shards))
-		parallel.ForEach(workers, len(shards), func(s int) {
+		if err := parallel.ForEachErr(ctx, workers, len(shards), func(s int) error {
 			outs[s] = enumerateRange(scheme, orc, lvl, outFmt, mode, skip, shards[s], nk)
-		})
+			return nil
+		}); err != nil {
+			return nil, poolFault(err, StageEnumerate, fn)
+		}
 		count := 0
 		for _, sh := range outs { // deterministic shard order = ascending bits
 			for p := 0; p < nk; p++ {
@@ -205,5 +212,5 @@ func enumerate(fn bigmath.Func, scheme reduction.Scheme, orc *oracle.Oracle,
 				lvl, count, len(rs.specials[li]))
 		}
 	}
-	return rs
+	return rs, nil
 }

@@ -35,6 +35,7 @@ func (o Options) Fingerprint() string {
 	_ = o.Workers // excluded: output is bit-identical for every worker count
 	_ = o.Logf    // excluded: logging cannot influence generated bits
 	_ = o.Oracle  // excluded: any oracle for fn returns identical results
+	_ = o.Faults  // excluded: injected faults are replayed to the no-fault bits or abort with an error; no artifact they touch survives
 	sum := sha256.Sum256(e.Bytes())
 	return hex.EncodeToString(sum[:])
 }

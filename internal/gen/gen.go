@@ -20,11 +20,13 @@
 package gen
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"repro/internal/bigmath"
+	"repro/internal/fault"
 	"repro/internal/fp"
 	"repro/internal/oracle"
 	"repro/internal/poly"
@@ -75,6 +77,13 @@ type Options struct {
 	// Oracle, when non-nil, is used instead of a fresh one — sharing it
 	// with the verification pass reuses its identity caches.
 	Oracle *oracle.Oracle
+	// Faults, when non-nil, enables the generator's fault-injection sites
+	// (see internal/fault): Clarkson sample/budget failures and solve-pool
+	// worker panics. Injected solver faults are recovered by replaying the
+	// poisoned piece solve with an identically seeded generator, so a
+	// recovered run is bit-identical to a fault-free one; unrecoverable
+	// plans surface a typed *fault.Error. Test-only; nil in production.
+	Faults *fault.Plan
 }
 
 func (o *Options) defaults() {
@@ -132,9 +141,10 @@ type SpecialInput struct {
 	Proxy float64
 }
 
-// Stats reports generation effort. Duration and Oracle are volatile — they
-// depend on cache warmth and wall clock — and are therefore excluded from
-// the result artifact; every other field is deterministic.
+// Stats reports generation effort. Duration, Oracle and Retries are
+// volatile — they depend on cache warmth, wall clock or an injection plan —
+// and are therefore excluded from the result artifact; every other field
+// is deterministic.
 type Stats struct {
 	Duration       time.Duration
 	RawConstraints int
@@ -144,6 +154,19 @@ type Stats struct {
 	ExactSolves    int
 	Attempts       int
 	Oracle         oracle.Stats
+	// Retries counts injected-fault piece replays in this run. A replay
+	// reproduces the no-fault solve bit-for-bit, so the count is excluded
+	// from the artifact: a recovered run's artifact equals the no-fault
+	// artifact byte for byte.
+	Retries int
+	// SeedRotations, BudgetEscalations and Degradations count rescue-
+	// ladder rungs consumed by kernels whose baseline pieces × terms
+	// search ran dry (see rescueRungs). Rescue engagement depends only on
+	// Options — never on injected faults, which are replayed or aborted —
+	// so these are deterministic and recorded in the solve artifact.
+	SeedRotations     int
+	BudgetEscalations int
+	Degradations      int
 }
 
 // Result is a generated progressive polynomial implementation.
@@ -191,11 +214,12 @@ func checkLevels(levels []fp.Format) error {
 // Benchmarks and tooling use it to measure the enumerate→oracle→interval
 // hot path without the solve.
 func Enumerate(fn bigmath.Func, opt Options) (rawConstraints, mergedRows int, err error) {
-	return EnumerateStaged(fn, opt, nil)
+	return EnumerateStaged(context.Background(), fn, opt, nil)
 }
 
 // Generate runs the full RLIBM-Prog pipeline for fn in memory, with no
-// artifact store. It is exactly GenerateStaged with a nil store.
+// artifact store or cancellation. It is exactly GenerateStaged with a nil
+// store and a background context.
 func Generate(fn bigmath.Func, opt Options) (*Result, error) {
-	return GenerateStaged(fn, opt, nil)
+	return GenerateStaged(context.Background(), fn, opt, nil)
 }

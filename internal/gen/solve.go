@@ -1,6 +1,8 @@
 package gen
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -8,6 +10,7 @@ import (
 
 	"repro/internal/bigmath"
 	"repro/internal/clarkson"
+	"repro/internal/fault"
 	"repro/internal/fp"
 	"repro/internal/oracle"
 	"repro/internal/parallel"
@@ -15,12 +18,33 @@ import (
 	"repro/internal/reduction"
 )
 
+// poolFault converts a worker-pool error into the typed taxonomy: a
+// recovered panic keeps the panic value's own fault code and context when
+// it already is a *fault.Error (the oracle and the injection sites panic
+// typed values), and otherwise becomes CodeWorkerPanic; cancellation maps
+// to CodeCanceled. Typed errors returned by jobs pass through unchanged.
+func poolFault(err error, stage string, fn bigmath.Func) error {
+	var pe *parallel.PanicError
+	if errors.As(err, &pe) {
+		if fe, ok := pe.Value.(*fault.Error); ok {
+			out := *fe
+			out.Err = pe // keep the job/worker/stack context in the chain
+			return &out
+		}
+		return fault.New(fault.CodeWorkerPanic, stage, "pool", pe).WithFunc(fn.String())
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fault.New(fault.CodeCanceled, stage, "pool", err).WithFunc(fn.String())
+	}
+	return err
+}
+
 // solveAll runs the Solve stage: per kernel, search for a piecewise
 // progressive polynomial over the merged constraint set, then resolve every
 // special input's all-modes round-to-odd proxy with the oracle. The
 // returned Result carries only deterministic fields (the volatile Duration
 // and Oracle stats are filled in by the caller).
-func solveAll(fn bigmath.Func, scheme reduction.Scheme, cs *constraintSet,
+func solveAll(ctx context.Context, fn bigmath.Func, scheme reduction.Scheme, cs *constraintSet,
 	orc *oracle.Oracle, opt Options, logf func(string, ...interface{})) (*Result, error) {
 
 	res := &Result{
@@ -31,7 +55,7 @@ func solveAll(fn bigmath.Func, scheme reduction.Scheme, cs *constraintSet,
 	}
 
 	for p := 0; p < scheme.NumPolys(); p++ {
-		kp, err := solveKernel(fn, scheme, cs, p, opt, res, logf)
+		kp, err := solveKernel(ctx, fn, scheme, cs, p, opt, res, logf)
 		if err != nil {
 			return nil, err
 		}
@@ -60,13 +84,16 @@ func solveAll(fn bigmath.Func, scheme reduction.Scheme, cs *constraintSet,
 		return keys[i].b < keys[j].b
 	})
 	resolved := make([]SpecialInput, len(keys))
-	parallel.ForEach(opt.Workers, len(keys), func(i int) {
+	if err := parallel.ForEachErr(ctx, opt.Workers, len(keys), func(i int) error {
 		lvl := opt.Levels[keys[i].li]
 		ext := lvl.Extend(2)
 		x := lvl.Decode(keys[i].b)
 		proxy := ext.Decode(orc.Result(x, ext, fp.RoundToOdd))
 		resolved[i] = SpecialInput{X: x, Proxy: proxy}
-	})
+		return nil
+	}); err != nil {
+		return nil, poolFault(err, StageSolve, fn)
+	}
 	for i, k := range keys {
 		res.Specials[k.li] = append(res.Specials[k.li], resolved[i])
 	}
@@ -104,12 +131,105 @@ func pieceSeed(seed int64, fn bigmath.Func, kernel, pieces, pi int) int64 {
 	return int64(z)
 }
 
-// solveKernel finds a piecewise progressive polynomial for kernel p. Within
-// one escalation attempt the sub-domain pieces are independent constraint
-// systems; they are solved concurrently on the pool, each with its own
-// deterministically seeded generator, and merged in piece order.
-func solveKernel(fn bigmath.Func, scheme reduction.Scheme, cs *constraintSet, p int,
+// rescueRung is one step of the deterministic retry/degradation schedule
+// applied when a kernel's whole pieces × terms search runs dry. Rung 0 is
+// the identity: exactly the configured budgets and the unsalted seed, so
+// any kernel the baseline search can solve is bit-identical to a build
+// without the rescue ladder. Later rungs rotate the RNG seed by fixed
+// salts (unlucky sampling is the dominant failure mode reported by
+// RLIBM-All/RLIBM-32), escalate the iteration budget and force the exact
+// rational solver, and finally degrade gracefully by widening the term,
+// piece and special budgets. The schedule is a fixed table — never
+// randomized, never influenced by injected faults — so cold and warm runs
+// consume identical rungs and the consumption counts recorded in Stats
+// are deterministic.
+type rescueRung struct {
+	name          string
+	salt          int64 // XORed into Options.Seed (0 = unsalted)
+	itersScale    int   // multiplies ClarksonIters
+	forceExact    bool  // route every sample to the exact rational solver
+	extraTerms    int   // added to MaxTerms
+	piecesScale   int   // multiplies MaxPieces (unless ForcePieces pins it)
+	specialsScale int   // multiplies MaxSpecials
+}
+
+// rescueRungs returns the fixed rescue schedule. The salts are arbitrary
+// published constants; changing them (or any budget multiplier) changes
+// generated bits for rescued kernels and therefore requires a ResultCodec
+// version bump.
+func rescueRungs() []rescueRung {
+	return []rescueRung{
+		{name: "baseline", itersScale: 1, piecesScale: 1, specialsScale: 1},
+		{name: "seed-rotation-1", salt: 0x517cc1b727220a95, itersScale: 1, piecesScale: 1, specialsScale: 1},
+		{name: "seed-rotation-2", salt: 0x2545f4914f6cdd1d, itersScale: 1, piecesScale: 1, specialsScale: 1},
+		{name: "exact-escalation", salt: 0x6a09e667f3bcc909, itersScale: 4, forceExact: true, piecesScale: 1, specialsScale: 1},
+		{name: "degradation", salt: 0x3243f6a8885a308d, itersScale: 4, forceExact: true, extraTerms: 1, piecesScale: 2, specialsScale: 2},
+	}
+}
+
+// maxInjectedReplays bounds how often one piece solve poisoned by injected
+// solver faults is replayed before the run gives up with a typed error
+// (only a Plan that keeps firing on every occurrence can exhaust it).
+const maxInjectedReplays = 4
+
+// solveKernel finds a piecewise progressive polynomial for kernel p,
+// walking the rescue ladder: the baseline budgets first, then — only if
+// the entire pieces × terms search failed — deterministic seed rotations,
+// budget escalation and graceful degradation. Consumed rungs are recorded
+// in Stats so the solve artifact pins them.
+func solveKernel(ctx context.Context, fn bigmath.Func, scheme reduction.Scheme, cs *constraintSet, p int,
 	opt Options, res *Result, logf func(string, ...interface{})) (*KernelPoly, error) {
+
+	rungs := rescueRungs()
+	for ri, rg := range rungs {
+		eff := opt
+		eff.Seed = opt.Seed ^ rg.salt
+		eff.ClarksonIters = opt.ClarksonIters * rg.itersScale
+		eff.MaxTerms = opt.MaxTerms + rg.extraTerms
+		eff.MaxSpecials = opt.MaxSpecials * rg.specialsScale
+		if opt.ForcePieces == 0 {
+			eff.MaxPieces = opt.MaxPieces * rg.piecesScale
+		}
+		if ri > 0 {
+			logf("  kernel %d: rescue rung %d (%s)", p, ri, rg.name)
+		}
+		kp, err := solveKernelAttempt(ctx, fn, scheme, cs, p, eff, rg.forceExact, res, logf)
+		if err != nil {
+			return nil, err
+		}
+		if kp != nil {
+			for _, used := range rungs[1 : ri+1] {
+				if used.salt != 0 {
+					res.Stats.SeedRotations++
+				}
+				if used.itersScale > 1 || used.forceExact {
+					res.Stats.BudgetEscalations++
+				}
+				if used.extraTerms > 0 || used.piecesScale > 1 || used.specialsScale > 1 {
+					res.Stats.Degradations++
+				}
+			}
+			return kp, nil
+		}
+	}
+	return nil, fault.New(fault.CodeSolverBudget, StageSolve, "rescue",
+		fmt.Errorf("gen: %v kernel %d unsolvable within %d pieces × %d terms after %d rescue rungs",
+			fn, p, opt.MaxPieces, opt.MaxTerms, len(rungs)-1)).
+		WithFunc(fn.String()).WithPiece(p, -1).WithAttempt(len(rungs))
+}
+
+// solveKernelAttempt runs one rung of the search for kernel p: the
+// adaptive pieces escalation with the rung's effective budgets. Within one
+// escalation attempt the sub-domain pieces are independent constraint
+// systems; they are solved concurrently on the pool, each with its own
+// deterministically seeded generator, and merged in piece order. A piece
+// solve that consumed injected solver faults is discarded and replayed
+// with an identically seeded generator — the injection plan's occurrence
+// counters have moved past the scheduled faults, so the replay reproduces
+// the no-fault solve bit for bit. It returns (nil, nil) when the ladder
+// ran dry, leaving the rescue decision to solveKernel.
+func solveKernelAttempt(ctx context.Context, fn bigmath.Func, scheme reduction.Scheme, cs *constraintSet, p int,
+	opt Options, forceExact bool, res *Result, logf func(string, ...interface{})) (*KernelPoly, error) {
 
 	domLo, domHi := scheme.ReducedDomain()
 	st := scheme.Structure(p)
@@ -122,22 +242,45 @@ func solveKernel(fn bigmath.Func, scheme reduction.Scheme, cs *constraintSet, p 
 	for pieces := startPieces; pieces <= maxPieces; pieces *= 2 {
 		bounds := splitDomain(domLo, domHi, pieces)
 		type pieceOut struct {
-			piece *Piece
-			viols []violation
-			stats solveStats
-			found bool
+			piece   *Piece
+			viols   []violation
+			stats   solveStats
+			found   bool
+			retries int
 		}
 		outs := make([]pieceOut, pieces)
-		parallel.ForEach(opt.Workers, pieces, func(pi int) {
+		if err := parallel.ForEachErr(ctx, opt.Workers, pieces, func(pi int) error {
+			if opt.Faults.Should(fault.SiteWorkerPanic) {
+				panic(fault.New(fault.CodeWorkerPanic, StageSolve, string(fault.SiteWorkerPanic),
+					fault.Injected(fault.SiteWorkerPanic)).WithFunc(fn.String()).WithPiece(p, pi))
+			}
 			lo, hi := bounds[pi], bounds[pi+1]
 			rows, rowMeta := collectRows(cs, p, lo, hi, pi == pieces-1, nLevels)
-			rng := rand.New(rand.NewSource(pieceSeed(opt.Seed, fn, p, pieces, pi)))
-			piece, viols, st2, found := solvePiece(rows, rowMeta, st, nLevels, opt, rng)
-			if found {
-				piece.Lo, piece.Hi = lo, hi
+			for attempt := 1; ; attempt++ {
+				rng := rand.New(rand.NewSource(pieceSeed(opt.Seed, fn, p, pieces, pi)))
+				piece, viols, st2, found, perr := solvePiece(ctx, rows, rowMeta, st, nLevels, opt, forceExact, rng)
+				if perr != nil {
+					return perr
+				}
+				if st2.injected == 0 {
+					if found {
+						piece.Lo, piece.Hi = lo, hi
+					}
+					outs[pi] = pieceOut{piece: piece, viols: viols, stats: st2, found: found, retries: attempt - 1}
+					return nil
+				}
+				// The solve consumed injected faults: its result (and its
+				// effort stats) are poisoned. Discard everything and replay
+				// the piece from its deterministic seed.
+				if attempt > maxInjectedReplays {
+					return fault.New(fault.CodeInjected, StageSolve, "replay",
+						fmt.Errorf("%d injected solver faults still firing after %d replays", st2.injected, attempt-1)).
+						WithFunc(fn.String()).WithPiece(p, pi).WithAttempt(attempt)
+				}
 			}
-			outs[pi] = pieceOut{piece: piece, viols: viols, stats: st2, found: found}
-		})
+		}); err != nil {
+			return nil, poolFault(err, StageSolve, fn)
+		}
 		kp := &KernelPoly{Structure: st}
 		ok := true
 		var pending []violation
@@ -146,6 +289,7 @@ func solveKernel(fn bigmath.Func, scheme reduction.Scheme, cs *constraintSet, p 
 			res.Stats.Iters += outs[pi].stats.iters
 			res.Stats.Lucky += outs[pi].stats.lucky
 			res.Stats.ExactSolves += outs[pi].stats.exactSolves
+			res.Stats.Retries += outs[pi].retries
 			if !outs[pi].found {
 				ok = false
 				continue
@@ -167,8 +311,7 @@ func solveKernel(fn bigmath.Func, scheme reduction.Scheme, cs *constraintSet, p 
 		}
 		logf("  kernel %d: %d piece(s) insufficient, splitting", p, pieces)
 	}
-	return nil, fmt.Errorf("gen: %v kernel %d unsolvable within %d pieces × %d terms",
-		fn, p, opt.MaxPieces, opt.MaxTerms)
+	return nil, nil
 }
 
 // rowMeta identifies the origin of each clarkson row: the level and merged-
@@ -208,9 +351,12 @@ func splitDomain(lo, hi float64, n int) []float64 {
 }
 
 // solveStats is the solver-effort delta of one piece solve, merged into
-// Stats in deterministic piece order by solveKernel.
+// Stats in deterministic piece order by solveKernel. injected counts the
+// injected solver faults the solve consumed; any non-zero count poisons
+// the whole piece result, which is then discarded and replayed.
 type solveStats struct {
 	attempts, iters, lucky, exactSolves int
+	injected                            int
 }
 
 // solvePiece searches term-count assignments for one sub-domain: the total
@@ -221,13 +367,16 @@ type solveStats struct {
 // we increase the number of terms used for the largest representation when
 // we are unable to find a progressive polynomial after increasing the
 // terms used for the smaller representations"). rng must be exclusive to
-// this call; solvePiece runs concurrently with other pieces.
-func solvePiece(rows []clarkson.Row, meta []rowMeta, st poly.Structure, nLevels int,
-	opt Options, rng *rand.Rand) (*Piece, []violation, solveStats, bool) {
+// this call; solvePiece runs concurrently with other pieces. forceExact
+// routes every Clarkson sample to the exact rational solver (the rescue
+// ladder's escalation rung); cancellation is checked between term-count
+// attempts and surfaces as a typed error.
+func solvePiece(ctx context.Context, rows []clarkson.Row, meta []rowMeta, st poly.Structure, nLevels int,
+	opt Options, forceExact bool, rng *rand.Rand) (*Piece, []violation, solveStats, bool, error) {
 
 	var stats solveStats
 	if len(rows) == 0 {
-		return &Piece{Coeffs: []float64{0}, LevelTerms: onesVector(nLevels, 1)}, nil, stats, true
+		return &Piece{Coeffs: []float64{0}, LevelTerms: onesVector(nLevels, 1)}, nil, stats, true, nil
 	}
 	xScale := 0.0
 	for _, r := range rows {
@@ -247,13 +396,16 @@ func solvePiece(rows []clarkson.Row, meta []rowMeta, st poly.Structure, nLevels 
 	// polynomial at all.
 	minT := make([]int, nLevels)
 	for li := 0; li < nLevels-1; li++ {
-		minT[li] = minLevelTerms(rows, meta, li, st, xScale, opt, rng)
+		minT[li] = minLevelTerms(rows, meta, li, st, xScale, opt, forceExact, rng, &stats)
 		if opt.Logf != nil {
 			opt.Logf("    level %d minimum terms: %d", li, minT[li])
 		}
 	}
 
 	for k := 1; k <= opt.MaxTerms; k++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, stats, false, fault.New(fault.CodeCanceled, StageSolve, "solve-piece", cerr)
+		}
 		terms := make([]int, nLevels)
 		feasibleStart := true
 		for li := 0; li < nLevels-1; li++ {
@@ -284,12 +436,15 @@ func solvePiece(rows []clarkson.Row, meta []rowMeta, st poly.Structure, nLevels 
 				XScale:           xScale,
 				Structure:        st,
 				Rng:              rng,
+				ForceExact:       forceExact,
+				Faults:           opt.Faults,
 			}
 			cr := clarkson.Solve(rows, cfg)
 			stats.attempts++
 			stats.iters += cr.Iters
 			stats.lucky += cr.Lucky
 			stats.exactSolves += cr.ExactSolves
+			stats.injected += cr.Injected
 			if opt.Logf != nil {
 				opt.Logf("    attempt k=%d terms=%v rows=%d: found=%v infeasible=%v best=%d iters=%d lucky=%d exact=%d lastErr=%v",
 					k, terms, len(rows), cr.Found, cr.Infeasible, cr.BestViolations, cr.Iters, cr.Lucky, cr.ExactSolves, cr.LastErr)
@@ -300,7 +455,7 @@ func solvePiece(rows []clarkson.Row, meta []rowMeta, st poly.Structure, nLevels 
 				viols, withinBudget := violationSpecials(cr.Violations, meta, opt.MaxSpecials)
 				if withinBudget {
 					return &Piece{Coeffs: cr.Coeffs, LevelTerms: append([]int(nil), terms...)},
-						viols, stats, true
+						viols, stats, true, nil
 				}
 			}
 			// Escalate: bump the lower level with the most violations at
@@ -315,14 +470,16 @@ func solvePiece(rows []clarkson.Row, meta []rowMeta, st poly.Structure, nLevels 
 			}
 		}
 	}
-	return nil, nil, stats, false
+	return nil, nil, stats, false, nil
 }
 
 // minLevelTerms returns the smallest t (possibly 0) for which level li's
 // rows alone are satisfiable with a t-term polynomial, or MaxTerms when
 // none is found (the joint search will then skip k < MaxTerms starts).
+// Injected faults its probe solves consume are accumulated into stats so
+// the enclosing piece solve is recognized as poisoned and replayed.
 func minLevelTerms(rows []clarkson.Row, meta []rowMeta, li int, st poly.Structure,
-	xScale float64, opt Options, rng *rand.Rand) int {
+	xScale float64, opt Options, forceExact bool, rng *rand.Rand, stats *solveStats) int {
 
 	var lvlRows []clarkson.Row
 	for i := range rows {
@@ -362,7 +519,10 @@ func minLevelTerms(rows []clarkson.Row, meta []rowMeta, li int, st poly.Structur
 			XScale:           xScale,
 			Structure:        st,
 			Rng:              rng,
+			ForceExact:       forceExact,
+			Faults:           opt.Faults,
 		})
+		stats.injected += cr.Injected
 		if cr.Found {
 			return t
 		}

@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -39,7 +40,7 @@ func VerifyKey(fn bigmath.Func, opt Options) pipeline.Key {
 }
 
 // oracleFor returns the oracle to use for fn, validating a caller-provided
-// one.
+// one and arming it with the run's injection plan.
 func oracleFor(fn bigmath.Func, opt Options) (*oracle.Oracle, error) {
 	orc := opt.Oracle
 	if orc == nil {
@@ -48,6 +49,9 @@ func oracleFor(fn bigmath.Func, opt Options) (*oracle.Oracle, error) {
 	if orc.Func() != fn {
 		return nil, fmt.Errorf("gen: oracle is for %v, not %v", orc.Func(), fn)
 	}
+	if opt.Faults != nil {
+		orc.SetFaults(opt.Faults)
+	}
 	return orc, nil
 }
 
@@ -55,15 +59,15 @@ func oracleFor(fn bigmath.Func, opt Options) (*oracle.Oracle, error) {
 // the reduce artifact and, on a miss, for the enumerate artifact before
 // falling back to the oracle-driven enumeration. A warm reduce artifact
 // therefore skips the Enumerate stage entirely.
-func reduceStaged(fn bigmath.Func, scheme reduction.Scheme, orc *oracle.Oracle,
+func reduceStaged(ctx context.Context, fn bigmath.Func, scheme reduction.Scheme, orc *oracle.Oracle,
 	opt Options, store *pipeline.Store, logf func(string, ...interface{})) (*constraintSet, error) {
 
-	cs, _, err := pipeline.Run(store, stageKey(fn, StageReduce, opt), constraintCodec,
+	cs, _, err := pipeline.Run(ctx, store, stageKey(fn, StageReduce, opt), constraintCodec,
 		pipeline.Logf(logf), func() (*constraintSet, error) {
-			rs, _, err := pipeline.Run(store, stageKey(fn, StageEnumerate, opt), enumCodec,
+			rs, _, err := pipeline.Run(ctx, store, stageKey(fn, StageEnumerate, opt), enumCodec,
 				pipeline.Logf(logf), func() (*rawSet, error) {
 					logf("%v: enumerating %d levels ...", fn, len(opt.Levels))
-					return enumerate(fn, scheme, orc, opt.Levels, opt.ProgressiveRO, opt.Workers, logf), nil
+					return enumerate(ctx, fn, scheme, orc, opt.Levels, opt.ProgressiveRO, opt.Workers, logf)
 				})
 			if err != nil {
 				return nil, err
@@ -76,7 +80,7 @@ func reduceStaged(fn bigmath.Func, scheme reduction.Scheme, orc *oracle.Oracle,
 // EnumerateStaged is Enumerate with an artifact store: it runs (or loads)
 // the Enumerate and Reduce stages and reports the system size. Tooling
 // uses it to warm a cache without paying for a solve.
-func EnumerateStaged(fn bigmath.Func, opt Options, store *pipeline.Store) (rawConstraints, mergedRows int, err error) {
+func EnumerateStaged(ctx context.Context, fn bigmath.Func, opt Options, store *pipeline.Store) (rawConstraints, mergedRows int, err error) {
 	opt.defaults()
 	if err := checkLevels(opt.Levels); err != nil {
 		return 0, 0, err
@@ -85,7 +89,7 @@ func EnumerateStaged(fn bigmath.Func, opt Options, store *pipeline.Store) (rawCo
 	if err != nil {
 		return 0, 0, err
 	}
-	cs, err := reduceStaged(fn, reduction.ForFunc(fn), orc, opt, store, nopLogf(opt.Logf))
+	cs, err := reduceStaged(ctx, fn, reduction.ForFunc(fn), orc, opt, store, nopLogf(opt.Logf))
 	if err != nil {
 		return 0, 0, err
 	}
@@ -107,7 +111,7 @@ func EnumerateStaged(fn bigmath.Func, opt Options, store *pipeline.Store) (rawCo
 // and sibling commands sharing one store enumerate each function exactly
 // once. The returned result is bit-identical for every worker count and
 // cache state.
-func GenerateStaged(fn bigmath.Func, opt Options, store *pipeline.Store) (*Result, error) {
+func GenerateStaged(ctx context.Context, fn bigmath.Func, opt Options, store *pipeline.Store) (*Result, error) {
 	opt.defaults()
 	if err := checkLevels(opt.Levels); err != nil {
 		return nil, err
@@ -121,14 +125,14 @@ func GenerateStaged(fn bigmath.Func, opt Options, store *pipeline.Store) (*Resul
 		return nil, err
 	}
 
-	res, _, err := pipeline.Run(store, stageKey(fn, StageSolve, opt), ResultCodec,
+	res, _, err := pipeline.Run(ctx, store, stageKey(fn, StageSolve, opt), ResultCodec,
 		pipeline.Logf(logf), func() (*Result, error) {
-			cs, err := reduceStaged(fn, scheme, orc, opt, store, logf)
+			cs, err := reduceStaged(ctx, fn, scheme, orc, opt, store, logf)
 			if err != nil {
 				return nil, err
 			}
 			logf("%v: %s", fn, cs.describe())
-			return solveAll(fn, scheme, cs, orc, opt, logf)
+			return solveAll(ctx, fn, scheme, cs, orc, opt, logf)
 		})
 	if err != nil {
 		return nil, err

@@ -157,5 +157,6 @@ func magnitudeInterval(f fp.Format, magBits uint64, mag float64, m fp.Mode) (lo,
 		// Away from zero for magnitudes: (prev, mag].
 		return openAbove(prev), mag
 	}
+	//lint:ignore barepanic exhaustive Mode switch; a new rounding mode is a compile-time change.
 	panic("interval: bad mode")
 }

@@ -63,6 +63,17 @@ var ErrUnbounded = errors.New("lp: unbounded")
 // certify its answer.
 var ErrNumeric = errors.New("lp: numerically unstable")
 
+// Uncertain reports whether err is a float64-simplex verdict that must be
+// confirmed by the exact rational solver before it may cut the search:
+// ErrNumeric is a precision failure, not an answer, and the float
+// simplex's ErrInfeasible is an epsilon judgement, not a certificate.
+// Exact-solver verdicts and all other errors are final. The fault
+// taxonomy maps a confirmed ErrNumeric to CodeSolverNumeric and a
+// certified ErrInfeasible to CodeSolverInfeasible (see internal/fault).
+func Uncertain(err error) bool {
+	return errors.Is(err, ErrNumeric) || errors.Is(err, ErrInfeasible)
+}
+
 // validate checks structural sanity shared by both solvers.
 func (p Problem) validate() error {
 	if p.NumVars <= 0 {

@@ -39,6 +39,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/bigmath"
+	"repro/internal/fault"
 	"repro/internal/fp"
 )
 
@@ -144,8 +145,9 @@ func (c *bigCache) size() int {
 // function. It is safe for concurrent use; see the package comment for the
 // concurrency contract.
 type Oracle struct {
-	fn    bigmath.Func
-	stats counters
+	fn     bigmath.Func
+	stats  counters
+	faults *fault.Plan
 
 	// logCache maps the frexp mantissa bits of x to f(m) at cachePrec,
 	// where m ∈ [0.5, 1); used by ln/log2/log10.
@@ -170,6 +172,12 @@ func New(fn bigmath.Func) *Oracle {
 // Func returns the function this oracle answers for.
 func (o *Oracle) Func() bigmath.Func { return o.fn }
 
+// SetFaults installs a fault-injection plan probed on every Result query
+// (site oracle.ziv simulates Ziv-loop precision exhaustion). A nil plan —
+// the default — disables injection. Set before sharing the oracle with
+// worker goroutines.
+func (o *Oracle) SetFaults(p *fault.Plan) { o.faults = p }
+
 // Stats returns a snapshot of the path counters.
 func (o *Oracle) Stats() Stats {
 	return Stats{
@@ -184,7 +192,14 @@ func (o *Oracle) Stats() Stats {
 }
 
 // Result returns the bits of fn(x) correctly rounded into out under mode.
+// An unanswerable query — the Ziv loop exhausting its precision budget,
+// real or injected — panics with a typed *fault.Error; the worker pool
+// recovers it and reports it with job context.
 func (o *Oracle) Result(x float64, out fp.Format, mode fp.Mode) uint64 {
+	if o.faults.Should(fault.SiteOracleZiv) {
+		panic(fault.New(fault.CodeOracleExhausted, "enumerate", "ziv",
+			fault.Injected(fault.SiteOracleZiv)).WithFunc(o.fn.String()))
+	}
 	if bits, ok := bigmath.SpecialBits(o.fn, x, out); ok {
 		o.stats.specials.Add(1)
 		return bits
@@ -304,6 +319,7 @@ func justAside(out fp.Format, anchor float64, positiveDelta bool, mode fp.Mode) 
 		}
 		return hi
 	}
+	//lint:ignore barepanic exhaustive Mode switch; a new rounding mode is a compile-time change.
 	panic("oracle: bad mode")
 }
 

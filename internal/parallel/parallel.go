@@ -12,7 +12,10 @@
 package parallel
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -68,60 +71,127 @@ func SplitRange(n uint64, parts int) []Range {
 	return out
 }
 
-// ForEach runs fn(i) for every i in [0, n), distributing indices over up to
-// workers goroutines (the option is resolved with WorkerCount and clamped
-// to n). With one worker it runs inline on the calling goroutine. Indices
-// are claimed dynamically, so callers must not rely on any execution order;
-// deterministic results come from writing each index's output to its own
-// slot and merging in index order afterwards. A panic in fn is re-raised on
-// the calling goroutine after all workers stop claiming work.
-func ForEach(workers, n int, fn func(i int)) {
+// PanicError wraps a panic recovered inside a pool worker with the job
+// index, the worker id and the stack captured at the point of recovery —
+// the context a bare re-panic used to lose.
+type PanicError struct {
+	Index  int         // job index whose fn panicked
+	Worker int         // pool worker id (0-based; 0 for the inline path)
+	Value  interface{} // the recovered panic value
+	Stack  []byte      // goroutine stack captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: panic in job %d on worker %d: %v", e.Index, e.Worker, e.Value)
+}
+
+// Unwrap exposes an error panic value to errors.Is/As chains.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// ForEachErr runs fn(i) for every i in [0, n), distributing indices over
+// up to workers goroutines (the option is resolved with WorkerCount and
+// clamped to n). With one worker it runs inline on the calling goroutine.
+// Indices are claimed dynamically, so callers must not rely on any
+// execution order; deterministic results come from writing each index's
+// output to its own slot and merging in index order afterwards.
+//
+// A non-nil error from fn stops the pool from claiming further work and is
+// returned; when several jobs fail before the pool drains, the error of
+// the lowest job index wins, so the reported failure does not depend on
+// goroutine scheduling. A panic in fn is recovered and reported as a
+// *PanicError carrying the job index, worker id and stack. Cancellation of
+// ctx stops claiming and returns ctx.Err() — unless a job error was also
+// recorded, which takes precedence.
+func ForEachErr(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	w := WorkerCount(workers)
 	if w > n {
 		w = n
 	}
+	runOne := func(worker, i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Index: i, Worker: worker, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		return fn(i)
+	}
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := runOne(0, i); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	var (
-		next      atomic.Int64
-		wg        sync.WaitGroup
-		panicOnce sync.Once
-		panicVal  interface{}
-		panicked  bool
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+		ctxErr   error
 	)
+	report := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+		mu.Unlock()
+		// Drain the remaining indices so sibling workers finish quickly
+		// and the error surfaces promptly.
+		next.Store(int64(n))
+	}
 	for g := 0; g < w; g++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicOnce.Do(func() {
-						panicVal = r
-						panicked = true
-					})
-					// Drain the remaining indices so sibling workers
-					// finish quickly and the panic surfaces promptly.
-					next.Store(int64(n))
-				}
-			}()
 			for {
+				if err := ctx.Err(); err != nil {
+					mu.Lock()
+					ctxErr = err
+					mu.Unlock()
+					next.Store(int64(n))
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				if err := runOne(worker, i); err != nil {
+					report(i, err)
+					return
+				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
-	if panicked {
-		panic(panicVal)
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctxErr
+}
+
+// ForEach is ForEachErr without cancellation or error returns, for hot
+// paths whose jobs cannot fail. A panic in fn is re-raised on the calling
+// goroutine as a *PanicError (wrapping the original value with job index,
+// worker id and stack) after all workers stop claiming work.
+func ForEach(workers, n int, fn func(i int)) {
+	err := ForEachErr(context.Background(), workers, n, func(i int) error {
+		fn(i)
+		return nil
+	})
+	if err != nil {
+		panic(err)
 	}
 }

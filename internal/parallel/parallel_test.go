@@ -1,6 +1,10 @@
 package parallel
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -63,10 +67,24 @@ func TestForEachEmptyAndTiny(t *testing.T) {
 	}
 }
 
-func TestForEachPropagatesPanic(t *testing.T) {
+func TestForEachPropagatesPanicWithJobContext(t *testing.T) {
 	defer func() {
-		if r := recover(); r != "boom" {
-			t.Fatalf("recovered %v, want boom", r)
+		r := recover()
+		pe, ok := r.(*PanicError)
+		if !ok {
+			t.Fatalf("recovered %T %v, want *PanicError", r, r)
+		}
+		if pe.Index != 17 {
+			t.Errorf("Index = %d, want 17", pe.Index)
+		}
+		if pe.Value != "boom" {
+			t.Errorf("Value = %v, want boom", pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Error("Stack not captured")
+		}
+		if !strings.Contains(pe.Error(), "job 17") {
+			t.Errorf("Error() = %q, missing job index", pe.Error())
 		}
 	}()
 	ForEach(4, 100, func(i int) {
@@ -74,6 +92,85 @@ func TestForEachPropagatesPanic(t *testing.T) {
 			panic("boom")
 		}
 	})
+}
+
+func TestForEachErrReturnsLowestIndexError(t *testing.T) {
+	// Every job that runs fails and records itself; the pool must report
+	// the error of the lowest index that actually ran, regardless of
+	// scheduling or how quickly the drain kicked in.
+	for _, workers := range []int{1, 2, 8} {
+		var lowest atomic.Int64
+		lowest.Store(1 << 30)
+		err := ForEachErr(context.Background(), workers, 64, func(i int) error {
+			for {
+				cur := lowest.Load()
+				if int64(i) >= cur || lowest.CompareAndSwap(cur, int64(i)) {
+					break
+				}
+			}
+			return fmt.Errorf("job %d failed", i)
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		want := fmt.Sprintf("job %d failed", lowest.Load())
+		if err.Error() != want {
+			t.Errorf("workers=%d: err = %q, want %q", workers, err, want)
+		}
+	}
+}
+
+func TestForEachErrWrapsPanicAsError(t *testing.T) {
+	cause := errors.New("kaboom")
+	err := ForEachErr(context.Background(), 4, 32, func(i int) error {
+		if i == 5 {
+			panic(cause)
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *PanicError", err, err)
+	}
+	if pe.Index != 5 {
+		t.Errorf("Index = %d, want 5", pe.Index)
+	}
+	if !errors.Is(err, cause) {
+		t.Error("error panic value must unwrap to the cause")
+	}
+}
+
+func TestForEachErrHonoursCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var done atomic.Int64
+		err := ForEachErr(ctx, workers, 10000, func(i int) error {
+			if done.Add(1) == 10 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := done.Load(); n >= 10000 {
+			t.Errorf("workers=%d: all %d jobs ran despite cancellation", workers, n)
+		}
+	}
+}
+
+func TestForEachErrNilOnSuccess(t *testing.T) {
+	var count atomic.Int64
+	if err := ForEachErr(context.Background(), 4, 100, func(i int) error {
+		count.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if count.Load() != 100 {
+		t.Errorf("ran %d jobs, want 100", count.Load())
+	}
 }
 
 func TestWorkerCount(t *testing.T) {

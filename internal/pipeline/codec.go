@@ -77,6 +77,26 @@ func Unseal(data []byte, name string, version uint32) ([]byte, error) {
 	return payload, nil
 }
 
+// CheckFrame verifies the outer frame of a sealed artifact — magic and
+// trailing SHA-256 checksum — without knowing which codec produced it.
+// Store.Audit uses it to validate a whole cache directory.
+func CheckFrame(data []byte) error {
+	if len(data) < len(frameMagic)+checksumSize {
+		return fmt.Errorf("%w: %d bytes is shorter than any frame", ErrCorrupt, len(data))
+	}
+	body, sum := data[:len(data)-checksumSize], data[len(data)-checksumSize:]
+	want := sha256.Sum256(body)
+	if !bytes.Equal(sum, want[:]) {
+		return fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	var magic [8]byte
+	copy(magic[:], body)
+	if magic != frameMagic {
+		return fmt.Errorf("%w: bad magic %q", ErrCorrupt, magic[:])
+	}
+	return nil
+}
+
 // Enc is the deterministic artifact encoder: fixed-width little-endian
 // integers, float64 as raw IEEE bits. Equal values always encode to equal
 // bytes, which is what makes warm-cache output byte-comparable to cold

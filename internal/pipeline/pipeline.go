@@ -30,8 +30,11 @@
 package pipeline
 
 import (
+	"context"
 	"os"
 	"path/filepath"
+
+	"repro/internal/fault"
 )
 
 // Codec describes the on-disk encoding of one artifact type. Name and
@@ -69,7 +72,15 @@ type Logf func(string, ...interface{})
 // its result is sealed and written atomically into the store. A failed
 // cache write is logged and otherwise ignored — caching is an
 // optimization, never a correctness dependency.
-func Run[T any](st *Store, key Key, c Codec[T], logf Logf, compute func() (T, error)) (value T, fromCache bool, err error) {
+//
+// Cancellation is checked at the stage boundary: a done ctx returns a
+// fault.Error with CodeCanceled before any probe or compute, so every
+// artifact already in the store stays valid and a rerun resumes from it.
+func Run[T any](ctx context.Context, st *Store, key Key, c Codec[T], logf Logf, compute func() (T, error)) (value T, fromCache bool, err error) {
+	if cerr := ctx.Err(); cerr != nil {
+		var zero T
+		return zero, false, fault.New(fault.CodeCanceled, key.Stage, "run", cerr).WithFunc(key.Func)
+	}
 	if logf == nil {
 		logf = func(string, ...interface{}) {}
 	}

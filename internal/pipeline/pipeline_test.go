@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -8,6 +9,8 @@ import (
 	"path/filepath"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/fault"
 )
 
 // testCodec encodes a []float64 payload; enough structure to exercise the
@@ -42,14 +45,14 @@ func TestRunColdThenWarm(t *testing.T) {
 	computes := 0
 	compute := func() ([]float64, error) { computes++; return want, nil }
 
-	got, hit, err := Run(st, testKey(), testCodec, nil, compute)
+	got, hit, err := Run(context.Background(), st, testKey(), testCodec, nil, compute)
 	if err != nil || hit {
 		t.Fatalf("cold run: hit=%v err=%v", hit, err)
 	}
 	if len(got) != len(want) {
 		t.Fatalf("cold value: %v", got)
 	}
-	got, hit, err = Run(st, testKey(), testCodec, nil, compute)
+	got, hit, err = Run(context.Background(), st, testKey(), testCodec, nil, compute)
 	if err != nil || !hit {
 		t.Fatalf("warm run: hit=%v err=%v", hit, err)
 	}
@@ -68,7 +71,7 @@ func TestRunColdThenWarm(t *testing.T) {
 }
 
 func TestRunNilStore(t *testing.T) {
-	v, hit, err := Run(nil, testKey(), testCodec, nil, func() ([]float64, error) { return []float64{7}, nil })
+	v, hit, err := Run(context.Background(), nil, testKey(), testCodec, nil, func() ([]float64, error) { return []float64{7}, nil })
 	if err != nil || hit || len(v) != 1 {
 		t.Fatalf("nil store: v=%v hit=%v err=%v", v, hit, err)
 	}
@@ -80,11 +83,11 @@ func TestRunComputeError(t *testing.T) {
 		t.Fatal(err)
 	}
 	boom := errors.New("boom")
-	if _, _, err := Run(st, testKey(), testCodec, nil, func() ([]float64, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, _, err := Run(context.Background(), st, testKey(), testCodec, nil, func() ([]float64, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 	// The failure must not have been cached.
-	if _, hit, _ := Run(st, testKey(), testCodec, nil, func() ([]float64, error) { return []float64{1}, nil }); hit {
+	if _, hit, _ := Run(context.Background(), st, testKey(), testCodec, nil, func() ([]float64, error) { return []float64{1}, nil }); hit {
 		t.Fatal("failed compute was cached")
 	}
 }
@@ -112,7 +115,7 @@ func TestRunCorruptArtifactRegenerates(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []float64{1, 2, 3}
-	if _, _, err := Run(st, testKey(), testCodec, nil, func() ([]float64, error) { return want, nil }); err != nil {
+	if _, _, err := Run(context.Background(), st, testKey(), testCodec, nil, func() ([]float64, error) { return want, nil }); err != nil {
 		t.Fatal(err)
 	}
 	path := artifactFile(t, dir)
@@ -124,7 +127,7 @@ func TestRunCorruptArtifactRegenerates(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, hit, err := Run(st, testKey(), testCodec, nil, func() ([]float64, error) { return want, nil })
+	got, hit, err := Run(context.Background(), st, testKey(), testCodec, nil, func() ([]float64, error) { return want, nil })
 	if err != nil || hit {
 		t.Fatalf("corrupt artifact: hit=%v err=%v", hit, err)
 	}
@@ -132,7 +135,7 @@ func TestRunCorruptArtifactRegenerates(t *testing.T) {
 		t.Fatalf("regenerated value: %v", got)
 	}
 	// The regeneration rewrote a valid artifact.
-	if _, hit, err := Run(st, testKey(), testCodec, nil, func() ([]float64, error) { return want, nil }); err != nil || !hit {
+	if _, hit, err := Run(context.Background(), st, testKey(), testCodec, nil, func() ([]float64, error) { return want, nil }); err != nil || !hit {
 		t.Fatalf("after regeneration: hit=%v err=%v", hit, err)
 	}
 }
@@ -264,5 +267,128 @@ func TestDecLenGuards(t *testing.T) {
 func TestOpenEmptyDir(t *testing.T) {
 	if _, err := Open(""); err == nil {
 		t.Fatal("Open(\"\") succeeded")
+	}
+}
+
+func TestRunCanceledContext(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = Run(ctx, st, testKey(), testCodec, nil, func() ([]float64, error) {
+		t.Error("compute ran despite cancellation")
+		return nil, nil
+	})
+	if fault.CodeOf(err) != fault.CodeCanceled {
+		t.Fatalf("err = %v, want CodeCanceled fault", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Error("cause must unwrap to context.Canceled")
+	}
+	var fe *fault.Error
+	if errors.As(err, &fe); fe.Stage != "enumerate" || fe.Func != "exp2" {
+		t.Errorf("fault context = %+v", fe)
+	}
+}
+
+// TestStoreInjectedFaults drives every store-level injection site through
+// Run and asserts the stage recovers with the correct value while the
+// store stays audit-clean.
+func TestStoreInjectedFaults(t *testing.T) {
+	want := []float64{4, 5, 6}
+	compute := func() ([]float64, error) { return want, nil }
+	for _, tc := range []struct {
+		site fault.Site
+		warm bool // fault injected on the warm (read) path
+	}{
+		{fault.SiteStoreWrite, false},
+		{fault.SiteStoreWriteShort, false},
+		{fault.SiteStoreRead, true},
+		{fault.SiteStoreBitFlip, true},
+	} {
+		t.Run(string(tc.site), func(t *testing.T) {
+			st, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan := fault.NewPlan().At(tc.site, 1)
+			st.SetFaults(plan)
+			// Cold run: write-path faults fire here.
+			v, hit, err := Run(context.Background(), st, testKey(), testCodec, nil, compute)
+			if err != nil || hit || len(v) != len(want) {
+				t.Fatalf("cold: v=%v hit=%v err=%v", v, hit, err)
+			}
+			// Second run: read-path faults fire here; either way the
+			// value must come back correct without error.
+			v, _, err = Run(context.Background(), st, testKey(), testCodec, nil, compute)
+			if err != nil || len(v) != len(want) {
+				t.Fatalf("second: v=%v err=%v", v, err)
+			}
+			for i := range want {
+				if v[i] != want[i] {
+					t.Fatalf("value[%d] = %v, want %v", i, v[i], want[i])
+				}
+			}
+			if plan.Count(tc.site) == 0 {
+				t.Fatalf("site %s never probed", tc.site)
+			}
+			// A third, fault-free run must hit the (re)written artifact.
+			st.SetFaults(nil)
+			if _, hit, err := Run(context.Background(), st, testKey(), testCodec, nil, compute); err != nil || !hit {
+				t.Fatalf("third: hit=%v err=%v", hit, err)
+			}
+			if err := st.Audit(); err != nil {
+				t.Fatalf("store audit after %s: %v", tc.site, err)
+			}
+		})
+	}
+}
+
+func TestAuditFlagsTempAndCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(context.Background(), st, testKey(), testCodec, nil, func() ([]float64, error) { return []float64{1}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Audit(); err != nil {
+		t.Fatalf("clean store: %v", err)
+	}
+	// A lingering temp file fails the audit.
+	tmp := filepath.Join(dir, "exp2", "solve-abc.art.tmp123")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Audit(); err == nil {
+		t.Error("audit missed temp file")
+	}
+	os.Remove(tmp)
+	// A truncated artifact fails the audit.
+	path := artifactFile(t, dir)
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Audit(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("audit of truncated artifact: %v", err)
+	}
+}
+
+func TestCheckFrame(t *testing.T) {
+	sealed := Seal("any-codec", 9, []byte{1, 2, 3})
+	if err := CheckFrame(sealed); err != nil {
+		t.Fatalf("valid frame: %v", err)
+	}
+	flipped := append([]byte(nil), sealed...)
+	flipped[len(flipped)/2] ^= 0x10
+	if err := CheckFrame(flipped); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("flipped frame: %v", err)
+	}
+	if err := CheckFrame(sealed[:4]); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("short frame: %v", err)
 	}
 }

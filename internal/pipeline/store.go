@@ -4,9 +4,14 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
+
+	"repro/internal/fault"
 )
 
 // Store is a content-addressed on-disk artifact store. It is safe for
@@ -15,7 +20,8 @@ import (
 // never observe a partial artifact and an interrupted run leaves at most
 // an orphaned temp file behind.
 type Store struct {
-	dir string
+	dir    string
+	faults *fault.Plan
 
 	mu     sync.Mutex
 	events []Event
@@ -42,6 +48,11 @@ func Open(dir string) (*Store, error) {
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
 
+// SetFaults installs a fault-injection plan on the store's read and write
+// paths (see internal/fault). A nil plan — the default — disables
+// injection. Set before any pipeline runs share the store.
+func (s *Store) SetFaults(p *fault.Plan) { s.faults = p }
+
 // path derives the content address of an artifact: a hash of every key
 // component plus the codec identity, laid out as one directory per
 // function with human-scannable "<stage>-<address>.art" file names.
@@ -53,18 +64,32 @@ func (s *Store) path(key Key, codecName string, codecVersion uint32) string {
 }
 
 // read returns the artifact bytes at path, reporting ok=false on any
-// error (most commonly: not cached yet).
+// error (most commonly: not cached yet). Injection: SiteStoreRead turns
+// the read into a miss; SiteStoreBitFlip corrupts one byte of the
+// returned copy so the frame checksum must catch it.
 func (s *Store) read(path string) ([]byte, bool) {
+	if s.faults.Should(fault.SiteStoreRead) {
+		return nil, false
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
+	}
+	if s.faults.Should(fault.SiteStoreBitFlip) && len(data) > 0 {
+		data[len(data)/2] ^= 0x01
 	}
 	return data, true
 }
 
 // write stores data at path atomically: temp file in the same directory,
-// then rename into place.
+// then rename into place. Injection: SiteStoreWrite fails before any
+// byte is staged; SiteStoreWriteShort persists only a prefix of the temp
+// file and then fails like a full disk would — in both cases nothing is
+// renamed into place, so no partial artifact can ever be read back.
 func (s *Store) write(path string, data []byte) error {
+	if s.faults.Should(fault.SiteStoreWrite) {
+		return fault.Injected(fault.SiteStoreWrite)
+	}
 	dir := filepath.Dir(path)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -72,6 +97,12 @@ func (s *Store) write(path string, data []byte) error {
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
+	}
+	if s.faults.Should(fault.SiteStoreWriteShort) {
+		_, _ = tmp.Write(data[:len(data)/2])
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("pipeline: write %s: %w", filepath.Base(path), io.ErrShortWrite)
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
@@ -87,6 +118,37 @@ func (s *Store) write(path string, data []byte) error {
 		return err
 	}
 	return nil
+}
+
+// Audit walks the store and reports the first ill-formed entry: a
+// lingering temp file, a non-artifact file, or an artifact whose frame
+// checksum does not verify. The fault-matrix tests run it after every
+// scenario to prove no failure mode leaves a corrupt or partially
+// written artifact behind.
+func (s *Store) Audit() error {
+	return filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if strings.Contains(name, ".tmp") {
+			return fmt.Errorf("pipeline: leftover temp file %s", path)
+		}
+		if !strings.HasSuffix(name, ".art") {
+			return fmt.Errorf("pipeline: foreign file %s in store", path)
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return rerr
+		}
+		if cerr := CheckFrame(data); cerr != nil {
+			return fmt.Errorf("%s: %w", path, cerr)
+		}
+		return nil
+	})
 }
 
 // record appends one probe outcome to the event log.

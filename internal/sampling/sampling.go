@@ -24,8 +24,12 @@ func (h *keyHeap) Swap(i, j int) {
 	h.keys[i], h.keys[j] = h.keys[j], h.keys[i]
 	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
 }
+
+//lint:ignore barepanic heap.Interface stub; the reservoir never grows the heap through the interface.
 func (h *keyHeap) Push(x interface{}) { panic("unused") }
-func (h *keyHeap) Pop() interface{}   { panic("unused") }
+
+//lint:ignore barepanic heap.Interface stub; the reservoir never shrinks the heap through the interface.
+func (h *keyHeap) Pop() interface{} { panic("unused") }
 
 // Weighted selects min(n, len(weights)) distinct indices with probability
 // proportional to their weights. Items with non-positive weight are never
