@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check check-fault test race bench bench-parallel bench-pipeline vet build lint
+.PHONY: check check-fault test race bench bench-parallel bench-pipeline bench-obs vet build lint report
 
 check:
 	@echo '== vet =='
@@ -58,3 +58,20 @@ bench-parallel:
 # behind BENCH_pipeline.json).
 bench-pipeline:
 	$(GO) test -bench 'Pipeline' -run '^$$' -benchtime 50x -count 3 .
+
+# Observability overhead: the same pipeline with the obs layer disabled vs
+# a live recorder (the numbers behind BENCH_obs.json).
+bench-obs:
+	$(GO) test -bench 'Pipeline' -run '^$$' -benchtime 50x -count 3 .
+	$(GO) test -bench 'PipelineWarm' -run '^$$' -benchtime 500x -count 5 .
+
+# Generate a small function with observability on and show the run report:
+# the span tree renders to stderr (-v) and report.json lands next to the
+# throwaway cache.
+report:
+	$(eval REPORT_DIR := $(shell mktemp -d))
+	$(GO) run ./cmd/rlibm-gen -func cospi -levels F10,8:F12,8 \
+		-cache-dir $(REPORT_DIR) -report -v
+	@echo '== report.json =='
+	@cat $(REPORT_DIR)/report.json
+	@rm -rf $(REPORT_DIR)

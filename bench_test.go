@@ -13,6 +13,7 @@ import (
 	"repro/internal/fp"
 	"repro/internal/gen"
 	"repro/internal/libm"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/pipeline"
 	"repro/internal/poly"
@@ -302,46 +303,78 @@ func pipelineBenchOpts() gen.Options {
 	}
 }
 
+// benchObsCtx returns the run context of one pipeline benchmark iteration:
+// plain background with the observability layer disabled (nil span — every
+// obs write is a nil check), or a context carrying a live recorder's root
+// span, the exact wiring the commands use under -report/-v. The recorder is
+// discarded without emitting, so the measured delta is pure recording cost.
+func benchObsCtx(obsOn bool) context.Context {
+	if !obsOn {
+		return context.Background()
+	}
+	return obs.WithSpan(context.Background(), obs.New("run").Root())
+}
+
 // BenchmarkPipelineCold times the full staged pipeline — Enumerate, Reduce,
 // Solve, Verify — into a fresh artifact store each iteration: the price of
-// a run that computes and checkpoints everything.
+// a run that computes and checkpoints everything. The obs=off/obs=on
+// sub-benchmarks bound the observability overhead (target: < 2%, recorded
+// in BENCH_obs.json).
 func BenchmarkPipelineCold(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		st, err := pipeline.Open(b.TempDir())
-		if err != nil {
-			b.Fatal(err)
+	for _, obsOn := range []bool{false, true} {
+		name := "obs=off"
+		if obsOn {
+			name = "obs=on"
 		}
-		b.StartTimer()
-		if _, _, err := cli.GenerateVerified(context.Background(), bigmath.CosPi, pipelineBenchOpts(), st); err != nil {
-			b.Fatal(err)
-		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				st, err := pipeline.Open(b.TempDir())
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx := benchObsCtx(obsOn)
+				b.StartTimer()
+				if _, _, err := cli.GenerateVerified(ctx, bigmath.CosPi, pipelineBenchOpts(), st); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
 // BenchmarkPipelineWarm times the same request against a pre-warmed store:
 // the verify artifact answers immediately, so this measures the cache probe
 // plus one sealed decode — the cost a sibling command (rlibm-table2 after
-// rlibm-table1) pays per function.
+// rlibm-table1) pays per function. Sub-benchmarks as in PipelineCold.
 func BenchmarkPipelineWarm(b *testing.B) {
-	dir := b.TempDir()
-	st, err := pipeline.Open(dir)
-	if err != nil {
-		b.Fatal(err)
-	}
-	if _, _, err := cli.GenerateVerified(context.Background(), bigmath.CosPi, pipelineBenchOpts(), st); err != nil {
-		b.Fatal(err)
-	}
-	st.ResetEvents()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := cli.GenerateVerified(context.Background(), bigmath.CosPi, pipelineBenchOpts(), st); err != nil {
-			b.Fatal(err)
+	for _, obsOn := range []bool{false, true} {
+		name := "obs=off"
+		if obsOn {
+			name = "obs=on"
 		}
-	}
-	b.StopTimer()
-	if n := st.CountEvents(gen.StageEnumerate, false); n != 0 {
-		b.Fatalf("warm benchmark re-ran Enumerate %d times", n)
+		b.Run(name, func(b *testing.B) {
+			dir := b.TempDir()
+			st, err := pipeline.Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := cli.GenerateVerified(context.Background(), bigmath.CosPi, pipelineBenchOpts(), st); err != nil {
+				b.Fatal(err)
+			}
+			st.ResetEvents()
+			ctx := benchObsCtx(obsOn)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cli.GenerateVerified(ctx, bigmath.CosPi, pipelineBenchOpts(), st); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if n := st.CountEvents(gen.StageEnumerate, false); n != 0 {
+				b.Fatalf("warm benchmark re-ran Enumerate %d times", n)
+			}
+		})
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/fp"
 	"repro/internal/gen"
 	"repro/internal/libm"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/verify"
 )
@@ -43,6 +44,11 @@ func main() {
 	if err := common.Validate(); err != nil {
 		log.Fatal(err)
 	}
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := common.NewRecorder()
 	seed, workers := &common.Seed, &common.Workers
 
 	fn, err := bigmath.ParseFunc(*fnName)
@@ -66,6 +72,7 @@ func main() {
 	if *generate {
 		ctx, cancel := common.Context()
 		defer cancel()
+		ctx = obs.WithSpan(ctx, rec.Root())
 		store, err := common.Store()
 		if err != nil {
 			log.Fatal(err)
@@ -129,6 +136,12 @@ func main() {
 	}
 	st := orc.Stats()
 	fmt.Printf("oracle paths: %+v\n", st)
+	st.RecordTo(rec.Root())
+	if err := common.FinishRun(rec, "rlibm-check"); err != nil {
+		log.Print(err)
+		bad = true
+	}
+	stopProfiles()
 	if bad {
 		os.Exit(1)
 	}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/fp"
 	"repro/internal/gen"
 	"repro/internal/libm"
+	"repro/internal/obs"
 )
 
 const corpusSize = 4096
@@ -88,6 +89,12 @@ func main() {
 	if err := common.Validate(); err != nil {
 		log.Fatal(err)
 	}
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
+	rec := common.NewRecorder()
 	seed := &common.Seed
 	// Timing is serial; -workers pins GOMAXPROCS so runs stay comparable.
 	runtime.GOMAXPROCS(common.Workers)
@@ -97,6 +104,7 @@ func main() {
 	if *generate {
 		ctx, cancel := common.Context()
 		defer cancel()
+		ctx = obs.WithSpan(ctx, rec.Root())
 		store, err := common.Store()
 		if err != nil {
 			log.Fatal(err)
@@ -218,6 +226,9 @@ func main() {
 			fmt.Printf("  %s %+.0f%%", fc.name, mean(results[c].speedup[fc.name]))
 		}
 		fmt.Println()
+	}
+	if err := common.FinishRun(rec, "rlibm-fig4"); err != nil {
+		log.Fatal(err)
 	}
 }
 

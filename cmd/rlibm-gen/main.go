@@ -20,6 +20,7 @@
 //	rlibm-gen -baseline -emit internal/libm      # RLibm-All baseline
 //	rlibm-gen -func log2 -bits 22 -v             # one function, smaller scale
 //	rlibm-gen -func exp2 -levels F10,8:F12,8     # explicit tiny level list
+//	rlibm-gen -func cospi -report                # write report.json next to the cache
 package main
 
 import (
@@ -33,6 +34,7 @@ import (
 	"repro/internal/bigmath"
 	"repro/internal/cli"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 )
 
@@ -42,7 +44,6 @@ func main() {
 		fnFlag   = flag.String("func", "all", "function to generate (all or one of ln,log2,log10,exp,exp2,exp10,sinh,cosh,sinpi,cospi)")
 		baseline = flag.Bool("baseline", false, "generate the RLibm-All piecewise baseline instead")
 		emitDir  = flag.String("emit", "", "directory to write generated Go table files into")
-		verbose  = flag.Bool("v", false, "verbose progress")
 		noVerify = flag.Bool("skip-verify", false, "skip the exhaustive verification/repair pass")
 		progRO   = flag.Bool("progressive-ro", false, "generate lower levels against round-to-odd intervals (all-modes progressive guarantee; extension beyond the paper)")
 		levels   = flag.String("levels", "", "colon-separated explicit level list, e.g. F10,8:F12,8 (overrides -bits)")
@@ -51,8 +52,14 @@ func main() {
 	if err := common.Validate(); err != nil {
 		log.Fatal(err)
 	}
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		log.Fatal(err)
+	}
 	ctx, cancel := common.Context()
 	defer cancel()
+	rec := common.NewRecorder()
+	ctx = obs.WithSpan(ctx, rec.Root())
 	store, err := common.Store()
 	if err != nil {
 		log.Fatal(err)
@@ -71,10 +78,7 @@ func main() {
 		}
 	}
 
-	logf := func(string, ...interface{}) {}
-	if *verbose {
-		logf = log.Printf
-	}
+	logf := common.Logf()
 	failed := false
 
 	for _, fn := range fns {
@@ -127,6 +131,11 @@ func main() {
 			}
 		}
 	}
+	if err := common.FinishRun(rec, "rlibm-gen"); err != nil {
+		log.Print(err)
+		failed = true
+	}
+	stopProfiles()
 	exitIf(failed)
 }
 

@@ -22,32 +22,34 @@ import (
 	"repro/internal/cli"
 	"repro/internal/gen"
 	"repro/internal/libm"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
 func main() {
 	common := cli.Register(flag.CommandLine)
-	var (
-		generate = flag.Bool("generate", false, "generate the libraries through the staged pipeline instead of using the emitted internal/libm tables")
-		verbose  = flag.Bool("v", false, "verbose generation progress")
-	)
+	generate := flag.Bool("generate", false, "generate the libraries through the staged pipeline instead of using the emitted internal/libm tables")
 	flag.Parse()
 	if err := common.Validate(); err != nil {
 		log.Fatal(err)
 	}
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
+	rec := common.NewRecorder()
 
 	prog, base := libm.Progressive, libm.RLibmAll
 	if *generate {
 		ctx, cancel := common.Context()
 		defer cancel()
+		ctx = obs.WithSpan(ctx, rec.Root())
 		store, err := common.Store()
 		if err != nil {
 			log.Fatal(err)
 		}
-		logf := func(string, ...interface{}) {}
-		if *verbose {
-			logf = log.Printf
-		}
+		logf := common.Logf()
 		prog = func(fn bigmath.Func) (*gen.Result, error) {
 			res, _, err := cli.GenerateVerified(ctx, fn, common.ProgressiveOptions(false, logf), store)
 			return res, err
@@ -71,6 +73,9 @@ func main() {
 	}
 
 	if err := report.Table1(os.Stdout, bigmath.AllFuncs, prog, base); err != nil {
+		log.Fatal(err)
+	}
+	if err := common.FinishRun(rec, "rlibm-table1"); err != nil {
 		log.Fatal(err)
 	}
 }

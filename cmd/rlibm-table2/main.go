@@ -28,6 +28,7 @@ import (
 	"repro/internal/fp"
 	"repro/internal/gen"
 	"repro/internal/libm"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/verify"
 )
@@ -56,12 +57,19 @@ func main() {
 	if err := common.Validate(); err != nil {
 		log.Fatal(err)
 	}
+	stopProfiles, err := common.StartProfiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProfiles()
+	rec := common.NewRecorder()
 
 	progFor, baseFor := libm.Progressive, libm.RLibmAll
 	largest, haveTables := libm.LargestFormat()
 	if *generate {
 		ctx, cancel := common.Context()
 		defer cancel()
+		ctx = obs.WithSpan(ctx, rec.Root())
 		store, err := common.Store()
 		if err != nil {
 			log.Fatal(err)
@@ -151,6 +159,9 @@ func main() {
 	fmt.Println(strings.Repeat("-", 20+22*len(columns)))
 	fmt.Println("Y = correctly rounded for all checked inputs, X = wrong results found.")
 	fmt.Println("Comparator substitutes compute in the scaled-double working format F49,10 (see DESIGN.md).")
+	if err := common.FinishRun(rec, "rlibm-table2"); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func allCorrect(reports []verify.Report) bool {

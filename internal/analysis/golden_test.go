@@ -34,6 +34,7 @@ func TestGolden(t *testing.T) {
 		{"poolcapture", []*Analyzer{PoolCapture}, false},
 		{"cachekey", []*Analyzer{CacheKey}, false},
 		{"barepanic", []*Analyzer{BarePanic}, true},
+		{"obsleak", []*Analyzer{ObsLeak}, true},
 		// The suppression fixtures run the full registry: suppressed holds
 		// one justified ignore per analyzer (golden is empty), badignore
 		// proves malformed directives are reported and suppress nothing.

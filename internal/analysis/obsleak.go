@@ -1,0 +1,51 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ObsLeak flags calls to the read side of internal/obs — Report, Render,
+// WriteJSON, WriteFile — in any package on the coefficient path (the same
+// transitive import closure the wallclock analyzer uses).
+//
+// The observability contract is that coefficients are bit-identical with
+// the layer on or off, which holds only if the coefficient path is
+// write-only toward obs: spans and counters may be recorded anywhere, but
+// reading them back inside enumeration, solving or rounding would let
+// observed values feed into generated coefficients. Report emission belongs
+// in internal/cli and the commands, which sit outside the coefficient path.
+// internal/obs itself is exempt — the layer must read its own state to
+// build reports.
+var ObsLeak = &Analyzer{
+	Name: "obsleak",
+	Doc:  "observability read-back in a package on the generated-coefficient path",
+	Run:  runObsLeak,
+}
+
+// obsReadFuncs are the read-side entry points of internal/obs.
+var obsReadFuncs = map[string]bool{"Report": true, "Render": true, "WriteJSON": true, "WriteFile": true}
+
+func runObsLeak(p *Pass) []Diagnostic {
+	if !p.Pkg.CoeffPath {
+		return nil
+	}
+	obsPath := p.Module.Path + "/internal/obs"
+	if p.Pkg.ImportPath == obsPath {
+		return nil
+	}
+	var diags []Diagnostic
+	p.inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := p.funcOf(call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != obsPath || !obsReadFuncs[fn.Name()] {
+			return true
+		}
+		diags = append(diags, p.report("obsleak", call,
+			"obs.%s in coefficient-path package %s: observability is write-only on the coefficient path (recorded values must never feed back into generation)", fn.Name(), p.Pkg.ImportPath))
+		return true
+	})
+	return diags
+}

@@ -1,0 +1,23 @@
+// Package obsleak exercises the obsleak analyzer; the test marks this
+// fixture as coefficient-path code, so every read-side obs call is a
+// finding while write-side instrumentation stays silent.
+package obsleak
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+func instrumented(w io.Writer) {
+	rec := obs.New("run")
+	sp := rec.Root().Child("stage") // write side: allowed anywhere
+	sp.Add(obs.CtrClarksonIters, 1)
+	sp.Gauge(obs.GaugePoolJobs, 2)
+	sp.End()
+
+	rep := rec.Report() // read side: forbidden on the coefficient path
+	rep.Render(w)
+	_ = rep.WriteJSON(w)
+	_ = rep.WriteFile("report.json")
+}

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -23,6 +24,10 @@ func quiet(set map[int]bool, vals, out []float64) {
 
 	//lint:ignore wallclock duration statistic only; never feeds a coefficient.
 	_ = time.Now()
+
+	rec := obs.New("run")
+	//lint:ignore obsleak fixture demonstrates a justified read that never feeds a coefficient.
+	_ = rec.Report()
 
 	a, b := vals[0], vals[1]
 	//lint:ignore floateq operands are stored bit patterns, never recomputed.

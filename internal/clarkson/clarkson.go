@@ -108,6 +108,9 @@ type Result struct {
 	Violations []int
 	// Iters counts sampling iterations; Lucky those that doubled weights.
 	Iters, Lucky int
+	// Samples counts the iterations that actually drew a weighted sample
+	// (injected sample failures and budget exhaustion skip the draw).
+	Samples int
 	// ExactSolves counts escalations to the rational simplex.
 	ExactSolves int
 	// LastErr is the most recent LP solver error (diagnostics).
@@ -204,6 +207,7 @@ func Solve(rows []Row, cfg Config) Result {
 			continue
 		}
 		idx := sampling.Weighted(weights, sample, rng)
+		res.Samples++
 		coeffs, exact, infeasible, solveErr, ok := solveSample(rows, idx, k, cfg)
 		if exact {
 			res.ExactSolves++

@@ -1,8 +1,10 @@
 // Package cli holds the flag plumbing and pipeline wiring shared by the
-// five rlibm commands: the common -workers/-seed/-bits/-cache-dir/-no-cache
-// flag set (previously copied four ways), artifact-store opening, and the
-// staged generate+verify entry point that lets sibling commands reuse one
-// cache — rlibm-table1 → table2 → fig4 enumerate each function exactly
+// five rlibm commands: the common
+// -workers/-seed/-bits/-cache-dir/-no-cache/-timeout flag set (previously
+// copied four ways), the observability flags (-v, -report, -cpuprofile,
+// -memprofile) and their run-report emission, artifact-store opening, and
+// the staged generate+verify entry point that lets sibling commands reuse
+// one cache — rlibm-table1 → table2 → fig4 enumerate each function exactly
 // once.
 package cli
 
@@ -10,14 +12,18 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"repro/internal/bigmath"
 	"repro/internal/fp"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/pipeline"
 	"repro/internal/verify"
@@ -42,6 +48,16 @@ type Common struct {
 	// package hands to the pipeline is canceled after it and every stage
 	// returns a typed canceled fault, leaving the cache resumable.
 	Timeout time.Duration
+	// Verbose enables progress logging and the rendered observability
+	// span tree at exit.
+	Verbose bool
+	// Report writes a versioned run report (report.json) next to the
+	// artifact cache at exit; see ReportPath.
+	Report bool
+	// CPUProfile and MemProfile name pprof output files (empty disables);
+	// see StartProfiles.
+	CPUProfile string
+	MemProfile string
 }
 
 // Register installs the shared flags into fs (use flag.CommandLine for a
@@ -58,23 +74,31 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.BoolVar(&c.NoCache, "no-cache", false, "disable the artifact cache")
 	fs.DurationVar(&c.Timeout, "timeout", 0,
 		"abort the run after this duration (0 disables); an aborted run leaves the cache resumable")
+	fs.BoolVar(&c.Verbose, "v", false,
+		"verbose progress; also renders the observability span tree at exit")
+	fs.BoolVar(&c.Report, "report", false,
+		"write a run report (report.json) next to the artifact cache at exit")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a pprof heap profile to this file at exit")
 	return c
 }
 
 // Validate rejects unusable flag combinations with a clear error instead
-// of silently substituting defaults.
+// of silently substituting defaults. Every message follows one shape —
+// "invalid -flag value: must be at least bound (hint)" — so scripts and
+// users see uniform diagnostics across all five commands.
 func (c *Common) Validate() error {
 	if c.Workers < 1 {
-		return fmt.Errorf("-workers must be at least 1, got %d (use 1 for a serial run)", c.Workers)
+		return fmt.Errorf("invalid -workers %d: must be at least 1 (use -workers 1 for a serial run)", c.Workers)
 	}
 	if c.Seed < 0 {
-		return fmt.Errorf("-seed must be non-negative, got %d", c.Seed)
+		return fmt.Errorf("invalid -seed %d: must be at least 0 (negative seeds are reserved for rescue-ladder salting)", c.Seed)
 	}
 	if c.Bits < 2 {
-		return fmt.Errorf("-bits must be at least 2, got %d", c.Bits)
+		return fmt.Errorf("invalid -bits %d: must be at least 2", c.Bits)
 	}
 	if c.Timeout < 0 {
-		return fmt.Errorf("-timeout must be non-negative, got %v", c.Timeout)
+		return fmt.Errorf("invalid -timeout %v: must be at least 0 (0 disables the deadline)", c.Timeout)
 	}
 	return nil
 }
@@ -87,6 +111,101 @@ func (c *Common) Context() (context.Context, context.CancelFunc) {
 		return context.WithTimeout(context.Background(), c.Timeout)
 	}
 	return context.WithCancel(context.Background())
+}
+
+// Logf returns the progress logger selected by -v: log.Printf when
+// verbose, nil otherwise (the pipeline treats nil as silent).
+func (c *Common) Logf() func(string, ...interface{}) {
+	if c.Verbose {
+		return log.Printf
+	}
+	return nil
+}
+
+// NewRecorder returns a live observability recorder when -report or -v
+// asked for one, and nil otherwise — the disabled layer, where every obs
+// write is a nil-check no-op and generated coefficients are untouched
+// either way. Wire the root span into the run context with
+// obs.WithSpan(ctx, rec.Root()) and hand the recorder to FinishRun.
+func (c *Common) NewRecorder() *obs.Recorder {
+	if !c.Report && !c.Verbose {
+		return nil
+	}
+	return obs.New("run")
+}
+
+// ReportPath returns where -report writes report.json: next to the
+// artifact cache, or the working directory when caching is disabled.
+func (c *Common) ReportPath() string {
+	if c.NoCache || c.CacheDir == "" {
+		return "report.json"
+	}
+	return filepath.Join(c.CacheDir, "report.json")
+}
+
+// FinishRun emits the run's observability output for command: the rendered
+// span tree on stderr with -v, and report.json at ReportPath with -report.
+// A nil recorder (observability off) is a no-op.
+func (c *Common) FinishRun(rec *obs.Recorder, command string) error {
+	if rec == nil {
+		return nil
+	}
+	rec.Root().End()
+	rep := rec.Report()
+	rep.Command = command
+	rep.Meta = map[string]string{
+		"workers": strconv.Itoa(c.Workers),
+		"seed":    strconv.FormatInt(c.Seed, 10),
+		"bits":    strconv.Itoa(c.Bits),
+	}
+	if c.Verbose {
+		rep.Render(os.Stderr)
+	}
+	if c.Report {
+		path := c.ReportPath()
+		if err := rep.WriteFile(path); err != nil {
+			return fmt.Errorf("write run report: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "report: %s\n", path)
+	}
+	return nil
+}
+
+// StartProfiles starts the collectors selected by -cpuprofile and
+// -memprofile and returns a stop function: it stops the CPU profile and
+// writes the heap profile. Call stop on every successful exit path (a
+// deferred call is skipped by os.Exit). Profiling lives entirely outside
+// the coefficient path and never alters generated output.
+func (c *Common) StartProfiles() (stop func(), err error) {
+	var cpuF *os.File
+	if c.CPUProfile != "" {
+		cpuF, err = os.Create(c.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("create -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("start -cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if c.MemProfile != "" {
+			f, err := os.Create(c.MemProfile)
+			if err != nil {
+				log.Printf("create -memprofile: %v", err)
+				return
+			}
+			runtime.GC() // flush recent allocations into the heap profile
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Printf("write -memprofile: %v", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 // DefaultCacheDir returns the default artifact cache location: the user
@@ -174,8 +293,18 @@ func GenerateVerified(ctx context.Context, fn bigmath.Func, opt gen.Options, sto
 	if opt.Faults != nil {
 		orc.SetFaults(opt.Faults)
 	}
+	// One observability span per generated function: the verify stage span
+	// pipeline.Run opens below nests under it (and solve, reduce, enumerate
+	// under that), and the oracle's query profile over the whole
+	// generate+verify pass is attributed to the function as a before/after
+	// Stats delta. The deltas are per-query deterministic, so the oracle.*
+	// counters stay identical across worker counts.
+	sp := obs.SpanFrom(ctx).Child(fn.String())
+	defer sp.End()
+	ctx = obs.WithSpan(ctx, sp)
+	before := orc.Stats()
 	res, _, err = pipeline.Run(ctx, store, gen.VerifyKey(fn, opt), gen.ResultCodec,
-		pipeline.Logf(opt.Logf), func() (*gen.Result, error) {
+		pipeline.Logf(opt.Logf), func(ctx context.Context) (*gen.Result, error) {
 			r, err := gen.GenerateStaged(ctx, fn, opt, store)
 			if err != nil {
 				return nil, err
@@ -184,7 +313,9 @@ func GenerateVerified(ctx context.Context, fn bigmath.Func, opt gen.Options, sto
 			if err != nil {
 				return nil, err
 			}
+			obs.SpanFrom(ctx).Add(obs.CtrVerifyPatched, int64(patched))
 			return r, nil
 		})
+	orc.Stats().Sub(before).RecordTo(sp)
 	return res, patched, err
 }

@@ -76,12 +76,48 @@ func TestContextHonorsTimeout(t *testing.T) {
 func TestRegisterParsesSharedFlags(t *testing.T) {
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	c := cli.Register(fs)
-	args := []string{"-workers", "3", "-seed", "42", "-bits", "14", "-cache-dir", "/tmp/x", "-no-cache"}
+	args := []string{"-workers", "3", "-seed", "42", "-bits", "14", "-cache-dir", "/tmp/x", "-no-cache",
+		"-timeout", "5s", "-v", "-report", "-cpuprofile", "/tmp/cpu.pprof", "-memprofile", "/tmp/mem.pprof"}
 	if err := fs.Parse(args); err != nil {
 		t.Fatalf("Parse: %v", err)
 	}
 	if c.Workers != 3 || c.Seed != 42 || c.Bits != 14 || c.CacheDir != "/tmp/x" || !c.NoCache {
 		t.Errorf("parsed values %+v do not match %v", c, args)
+	}
+	if c.Timeout != 5*time.Second || !c.Verbose || !c.Report ||
+		c.CPUProfile != "/tmp/cpu.pprof" || c.MemProfile != "/tmp/mem.pprof" {
+		t.Errorf("parsed observability values %+v do not match %v", c, args)
+	}
+}
+
+// TestValidateMessageShape pins the unified diagnostic format across the
+// five commands: every rejection reads
+// "invalid -flag value: must be at least bound (hint)".
+func TestValidateMessageShape(t *testing.T) {
+	cases := []struct {
+		name   string
+		common cli.Common
+		prefix string
+	}{
+		{"workers", cli.Common{Workers: 0, Bits: 16}, "invalid -workers 0: "},
+		{"seed", cli.Common{Workers: 1, Bits: 16, Seed: -3}, "invalid -seed -3: "},
+		{"bits", cli.Common{Workers: 1, Bits: 1}, "invalid -bits 1: "},
+		{"timeout", cli.Common{Workers: 1, Bits: 16, Timeout: -time.Second}, "invalid -timeout -1s: "},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.common.Validate()
+			if err == nil {
+				t.Fatalf("Validate(%+v) accepted an invalid -%s", tc.common, tc.name)
+			}
+			msg := err.Error()
+			if !strings.HasPrefix(msg, tc.prefix) {
+				t.Errorf("message %q does not start with %q", msg, tc.prefix)
+			}
+			if !strings.Contains(msg, "must be at least ") {
+				t.Errorf("message %q lacks the \"must be at least\" clause", msg)
+			}
+		})
 	}
 }
 

@@ -40,6 +40,17 @@ type constraintSet struct {
 	rawCount int
 }
 
+// mergedRows returns the total merged-row count across kernels and levels.
+func (cs *constraintSet) mergedRows() int {
+	total := 0
+	for _, pk := range cs.perKernel {
+		for _, lc := range pk {
+			total += len(lc.merged)
+		}
+	}
+	return total
+}
+
 // reduce runs the Reduce stage: per (kernel, level), sort the raw
 // constraints by reduced input and intersect runs sharing one reduced
 // input into merged rows; constraints that would empty an intersection,
@@ -140,11 +151,5 @@ func mergeRaw(raw []rawConstraint, evict func(xbits uint64)) ([]mergedRow, [][]u
 }
 
 func (cs *constraintSet) describe() string {
-	total := 0
-	for _, pk := range cs.perKernel {
-		for _, lc := range pk {
-			total += len(lc.merged)
-		}
-	}
-	return fmt.Sprintf("%d raw constraints, %d merged rows", cs.rawCount, total)
+	return fmt.Sprintf("%d raw constraints, %d merged rows", cs.rawCount, cs.mergedRows())
 }

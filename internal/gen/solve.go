@@ -12,6 +12,7 @@ import (
 	"repro/internal/clarkson"
 	"repro/internal/fault"
 	"repro/internal/fp"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/parallel"
 	"repro/internal/poly"
@@ -94,6 +95,7 @@ func solveAll(ctx context.Context, fn bigmath.Func, scheme reduction.Scheme, cs 
 	}); err != nil {
 		return nil, poolFault(err, StageSolve, fn)
 	}
+	obs.SpanFrom(ctx).Add(obs.CtrSpecialsResolved, int64(len(keys)))
 	for i, k := range keys {
 		res.Specials[k.li] = append(res.Specials[k.li], resolved[i])
 	}
@@ -104,11 +106,7 @@ func solveAll(ctx context.Context, fn bigmath.Func, scheme reduction.Scheme, cs 
 	}
 
 	res.Stats.RawConstraints = cs.rawCount
-	for _, pk := range cs.perKernel {
-		for _, lc := range pk {
-			res.Stats.MergedRows += len(lc.merged)
-		}
-	}
+	res.Stats.MergedRows = cs.mergedRows()
 	return res, nil
 }
 
@@ -198,15 +196,19 @@ func solveKernel(ctx context.Context, fn bigmath.Func, scheme reduction.Scheme, 
 			return nil, err
 		}
 		if kp != nil {
+			sp := obs.SpanFrom(ctx)
 			for _, used := range rungs[1 : ri+1] {
 				if used.salt != 0 {
 					res.Stats.SeedRotations++
+					sp.Add(obs.CtrRescueSeedRotations, 1)
 				}
 				if used.itersScale > 1 || used.forceExact {
 					res.Stats.BudgetEscalations++
+					sp.Add(obs.CtrRescueBudgetEscalations, 1)
 				}
 				if used.extraTerms > 0 || used.piecesScale > 1 || used.specialsScale > 1 {
 					res.Stats.Degradations++
+					sp.Add(obs.CtrRescueDegradations, 1)
 				}
 			}
 			return kp, nil
@@ -254,6 +256,12 @@ func solveKernelAttempt(ctx context.Context, fn bigmath.Func, scheme reduction.S
 				panic(fault.New(fault.CodeWorkerPanic, StageSolve, string(fault.SiteWorkerPanic),
 					fault.Injected(fault.SiteWorkerPanic)).WithFunc(fn.String()).WithPiece(p, pi))
 			}
+			// One observability span per concurrent piece solve, zero-padded
+			// so the snapshot's name sort matches piece order. Counters are
+			// added only from the final non-poisoned solve below, so injected
+			// replays never double-count effort.
+			ps := obs.SpanFrom(ctx).Child(fmt.Sprintf("piece k%d n%d i%03d", p, pieces, pi))
+			defer ps.End()
 			lo, hi := bounds[pi], bounds[pi+1]
 			rows, rowMeta := collectRows(cs, p, lo, hi, pi == pieces-1, nLevels)
 			for attempt := 1; ; attempt++ {
@@ -266,6 +274,11 @@ func solveKernelAttempt(ctx context.Context, fn bigmath.Func, scheme reduction.S
 					if found {
 						piece.Lo, piece.Hi = lo, hi
 					}
+					ps.Add(obs.CtrClarksonAttempts, int64(st2.attempts))
+					ps.Add(obs.CtrClarksonIters, int64(st2.iters))
+					ps.Add(obs.CtrClarksonSamples, int64(st2.samples))
+					ps.Add(obs.CtrClarksonWeightDoublings, int64(st2.lucky))
+					ps.Add(obs.CtrClarksonExactSolves, int64(st2.exactSolves))
 					outs[pi] = pieceOut{piece: piece, viols: viols, stats: st2, found: found, retries: attempt - 1}
 					return nil
 				}
@@ -356,7 +369,11 @@ func splitDomain(lo, hi float64, n int) []float64 {
 // the whole piece result, which is then discarded and replayed.
 type solveStats struct {
 	attempts, iters, lucky, exactSolves int
-	injected                            int
+	// samples counts the iterations that drew and solved a weighted sample
+	// (reported via obs only; gen.Stats predates it and the solve artifact
+	// layout must not change).
+	samples  int
+	injected int
 }
 
 // solvePiece searches term-count assignments for one sub-domain: the total
@@ -444,6 +461,7 @@ func solvePiece(ctx context.Context, rows []clarkson.Row, meta []rowMeta, st pol
 			stats.iters += cr.Iters
 			stats.lucky += cr.Lucky
 			stats.exactSolves += cr.ExactSolves
+			stats.samples += cr.Samples
 			stats.injected += cr.Injected
 			if opt.Logf != nil {
 				opt.Logf("    attempt k=%d terms=%v rows=%d: found=%v infeasible=%v best=%d iters=%d lucky=%d exact=%d lastErr=%v",

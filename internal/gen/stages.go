@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/bigmath"
+	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/pipeline"
 	"repro/internal/reduction"
@@ -63,16 +64,22 @@ func reduceStaged(ctx context.Context, fn bigmath.Func, scheme reduction.Scheme,
 	opt Options, store *pipeline.Store, logf func(string, ...interface{})) (*constraintSet, error) {
 
 	cs, _, err := pipeline.Run(ctx, store, stageKey(fn, StageReduce, opt), constraintCodec,
-		pipeline.Logf(logf), func() (*constraintSet, error) {
+		pipeline.Logf(logf), func(ctx context.Context) (*constraintSet, error) {
 			rs, _, err := pipeline.Run(ctx, store, stageKey(fn, StageEnumerate, opt), enumCodec,
-				pipeline.Logf(logf), func() (*rawSet, error) {
+				pipeline.Logf(logf), func(ctx context.Context) (*rawSet, error) {
 					logf("%v: enumerating %d levels ...", fn, len(opt.Levels))
-					return enumerate(ctx, fn, scheme, orc, opt.Levels, opt.ProgressiveRO, opt.Workers, logf)
+					rs, err := enumerate(ctx, fn, scheme, orc, opt.Levels, opt.ProgressiveRO, opt.Workers, logf)
+					if err == nil {
+						obs.SpanFrom(ctx).Add(obs.CtrRowsEnumerated, int64(rs.rawCount))
+					}
+					return rs, err
 				})
 			if err != nil {
 				return nil, err
 			}
-			return reduce(rs, len(opt.Levels), opt.Workers), nil
+			cs := reduce(rs, len(opt.Levels), opt.Workers)
+			obs.SpanFrom(ctx).Add(obs.CtrRowsReduced, int64(cs.mergedRows()))
+			return cs, nil
 		})
 	return cs, err
 }
@@ -93,13 +100,7 @@ func EnumerateStaged(ctx context.Context, fn bigmath.Func, opt Options, store *p
 	if err != nil {
 		return 0, 0, err
 	}
-	merged := 0
-	for _, pk := range cs.perKernel {
-		for _, lc := range pk {
-			merged += len(lc.merged)
-		}
-	}
-	return cs.rawCount, merged, nil
+	return cs.rawCount, cs.mergedRows(), nil
 }
 
 // GenerateStaged runs the full RLIBM-Prog pipeline for fn as explicit
@@ -126,7 +127,7 @@ func GenerateStaged(ctx context.Context, fn bigmath.Func, opt Options, store *pi
 	}
 
 	res, _, err := pipeline.Run(ctx, store, stageKey(fn, StageSolve, opt), ResultCodec,
-		pipeline.Logf(logf), func() (*Result, error) {
+		pipeline.Logf(logf), func(ctx context.Context) (*Result, error) {
 			cs, err := reduceStaged(ctx, fn, scheme, orc, opt, store, logf)
 			if err != nil {
 				return nil, err

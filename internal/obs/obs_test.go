@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety: the disabled layer (nil recorder/span) must no-op on
+// every write-side call — this is what keeps instrumentation free when
+// -report/-v are off.
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	root := r.Root()
+	if root != nil {
+		t.Fatalf("nil Recorder.Root() = %v, want nil", root)
+	}
+	child := root.Child("x")
+	if child != nil {
+		t.Fatalf("nil Span.Child() = %v, want nil", child)
+	}
+	root.Add(CtrClarksonIters, 5)
+	root.Gauge(GaugePoolJobs, 5)
+	root.End()
+	ctx := WithSpan(context.Background(), nil)
+	if sp := SpanFrom(ctx); sp != nil {
+		t.Fatalf("SpanFrom after WithSpan(nil) = %v, want nil", sp)
+	}
+	rep := r.Report()
+	if rep == nil || len(rep.Counters) != len(Taxonomy()) {
+		t.Fatalf("nil Recorder.Report() = %+v, want zero-filled taxonomy", rep)
+	}
+}
+
+func TestSpanTreeAndAggregation(t *testing.T) {
+	r := New("run")
+	fn := r.Root().Child("cospi")
+	solve := fn.Child("solve")
+	solve.Add(CtrClarksonIters, 7)
+	solve.Add(CtrClarksonIters, 3)
+	reduce := solve.Child("reduce")
+	reduce.Add(CtrRowsReduced, 42)
+	reduce.End()
+	solve.End()
+	fn.End()
+	r.Root().End()
+
+	rep := r.Report()
+	if rep.Version != ReportVersion {
+		t.Errorf("Version = %d, want %d", rep.Version, ReportVersion)
+	}
+	if got := rep.Counters[string(CtrClarksonIters)]; got != 10 {
+		t.Errorf("aggregated clarkson.iters = %d, want 10", got)
+	}
+	if got := rep.Counters[string(CtrRowsReduced)]; got != 42 {
+		t.Errorf("aggregated constraints.reduced = %d, want 42", got)
+	}
+	if got := rep.Counters[string(CtrStoreHits)]; got != 0 {
+		t.Errorf("untouched store.hits = %d, want 0 (taxonomy zero-fill)", got)
+	}
+	if rep.Spans == nil || len(rep.Spans.Children) != 1 || rep.Spans.Children[0].Name != "cospi" {
+		t.Fatalf("span tree root children = %+v, want [cospi]", rep.Spans)
+	}
+	s := rep.Spans.Children[0].Children
+	if len(s) != 1 || s[0].Name != "solve" || len(s[0].Children) != 1 || s[0].Children[0].Name != "reduce" {
+		t.Errorf("nesting = %+v, want cospi→solve→reduce", s)
+	}
+}
+
+// TestReportContainsFullTaxonomy pins the acceptance criterion that every
+// taxonomy counter appears in every report.
+func TestReportContainsFullTaxonomy(t *testing.T) {
+	rep := New("run").Report()
+	for _, c := range Taxonomy() {
+		if _, ok := rep.Counters[string(c)]; !ok {
+			t.Errorf("report is missing taxonomy counter %q", c)
+		}
+	}
+	if len(rep.Counters) != len(Taxonomy()) {
+		t.Errorf("report has %d counters, taxonomy has %d", len(rep.Counters), len(Taxonomy()))
+	}
+}
+
+// TestConcurrentPieceSpans mirrors the solve stage: pool workers attach
+// children and counters concurrently; the snapshot must be complete and
+// name-sorted.
+func TestConcurrentPieceSpans(t *testing.T) {
+	r := New("run")
+	solve := r.Root().Child("solve")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ps := solve.Child("piece " + string(rune('a'+i)))
+			ps.Add(CtrClarksonAttempts, 1)
+			ps.End()
+		}(i)
+	}
+	wg.Wait()
+	solve.End()
+	rep := r.Report()
+	kids := rep.Spans.Children[0].Children
+	if len(kids) != 16 {
+		t.Fatalf("got %d piece spans, want 16", len(kids))
+	}
+	for i := 1; i < len(kids); i++ {
+		if kids[i-1].Name > kids[i].Name {
+			t.Errorf("children not name-sorted: %q > %q", kids[i-1].Name, kids[i].Name)
+		}
+	}
+	if got := rep.Counters[string(CtrClarksonAttempts)]; got != 16 {
+		t.Errorf("aggregated attempts = %d, want 16", got)
+	}
+}
+
+// TestCountersJSONStable: the counters section must serialize
+// byte-identically for equal values regardless of insertion order — the
+// property the workers-determinism test in internal/cli builds on.
+func TestCountersJSONStable(t *testing.T) {
+	a := New("run")
+	a.Root().Add(CtrStoreHits, 2)
+	a.Root().Add(CtrClarksonIters, 9)
+	b := New("run")
+	b.Root().Add(CtrClarksonIters, 9)
+	b.Root().Add(CtrStoreHits, 2)
+	ja, err := json.Marshal(a.Report().Counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b.Report().Counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("counter JSON differs by insertion order:\n%s\n%s", ja, jb)
+	}
+}
+
+func TestRenderAndWriteJSON(t *testing.T) {
+	r := New("run")
+	fn := r.Root().Child("exp2")
+	fn.Add(CtrOracleQueries, 123)
+	fn.Gauge(GaugePoolJobs, 4)
+	fn.End()
+	r.Root().End()
+	rep := r.Report()
+	rep.Command = "rlibm-test"
+
+	var tree bytes.Buffer
+	rep.Render(&tree)
+	out := tree.String()
+	for _, want := range []string{"run ", "exp2 ", "oracle.queries=123", "counters:", "volatile:", "pool.jobs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.Version != ReportVersion || back.Command != "rlibm-test" {
+		t.Errorf("round-trip = version %d command %q", back.Version, back.Command)
+	}
+	if back.Counters[string(CtrOracleQueries)] != 123 {
+		t.Errorf("round-trip oracle.queries = %d", back.Counters[string(CtrOracleQueries)])
+	}
+}
+
+func TestContextThreading(t *testing.T) {
+	r := New("run")
+	ctx := WithSpan(context.Background(), r.Root())
+	sp := SpanFrom(ctx)
+	if sp != r.Root() {
+		t.Fatalf("SpanFrom = %v, want root", sp)
+	}
+	child := sp.Child("stage")
+	ctx2 := WithSpan(ctx, child)
+	if SpanFrom(ctx2) != child {
+		t.Fatal("nested WithSpan did not override")
+	}
+	if SpanFrom(ctx) != r.Root() {
+		t.Fatal("outer context was mutated")
+	}
+	if SpanFrom(context.Background()) != nil {
+		t.Fatal("empty context should have no span")
+	}
+}

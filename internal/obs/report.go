@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// ReportVersion is the schema version of report.json. Bump it whenever a
+// field is renamed, removed or changes meaning; additions are
+// backward-compatible and do not require a bump.
+const ReportVersion = 1
+
+// Report is the serializable outcome of one observed run. Counters is the
+// deterministic section: identical for every worker count. Volatile holds
+// scheduling-dependent gauges, and the span tree carries timings — both
+// are excluded from determinism comparisons.
+type Report struct {
+	Version  int               `json:"version"`
+	Command  string            `json:"command,omitempty"`
+	Meta     map[string]string `json:"meta,omitempty"`
+	Counters map[string]int64  `json:"counters"`
+	Volatile map[string]int64  `json:"volatile,omitempty"`
+	Spans    *SpanReport       `json:"spans,omitempty"`
+}
+
+// SpanReport is one node of the serialized span tree. Start and duration
+// are nanoseconds on the recorder's monotonic clock.
+type SpanReport struct {
+	Name     string           `json:"name"`
+	StartNS  int64            `json:"start_ns"`
+	DurNS    int64            `json:"dur_ns"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Volatile map[string]int64 `json:"volatile,omitempty"`
+	Children []*SpanReport    `json:"children,omitempty"`
+}
+
+// Report snapshots the recorder into a versioned report: the span tree
+// (children sorted by name for stable output), the taxonomy counters
+// summed over the tree — every Taxonomy entry present, zero-valued when
+// untouched — and the volatile gauges summed likewise. Safe to call while
+// spans are still being mutated, though a quiesced tree reads better.
+//
+// This is read-side API: the obsleak analyzer forbids calling it from the
+// coefficient-path packages.
+func (r *Recorder) Report() *Report {
+	rep := &Report{
+		Version:  ReportVersion,
+		Counters: make(map[string]int64),
+		Volatile: make(map[string]int64),
+	}
+	for _, c := range Taxonomy() {
+		rep.Counters[string(c)] = 0
+	}
+	if r == nil {
+		return rep
+	}
+	rep.Spans = r.root.snapshot(r.now())
+	rep.Spans.aggregate(rep.Counters, rep.Volatile)
+	if len(rep.Volatile) == 0 {
+		rep.Volatile = nil
+	}
+	return rep
+}
+
+// snapshot copies one span (and its subtree) under its lock. An open span
+// is reported with a duration up to now.
+func (s *Span) snapshot(now int64) *SpanReport {
+	s.mu.Lock()
+	out := &SpanReport{Name: s.name, StartNS: s.startNS, DurNS: s.durNS}
+	if out.DurNS == 0 {
+		out.DurNS = now - s.startNS
+	}
+	if len(s.counters) > 0 {
+		out.Counters = make(map[string]int64, len(s.counters))
+		for c, n := range s.counters { // order-independent map merge
+			out.Counters[string(c)] = n
+		}
+	}
+	if len(s.volatile) > 0 {
+		out.Volatile = make(map[string]int64, len(s.volatile))
+		for k, n := range s.volatile { // order-independent map merge
+			out.Volatile[k] = n
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, c.snapshot(now))
+	}
+	// Piece spans are attached by concurrent pool workers, so insertion
+	// order is scheduling-dependent; sorting by name (stably — stage names
+	// are unique per parent, piece names are zero-padded) keeps the
+	// serialized tree stable. Chronology stays visible through start_ns.
+	sort.SliceStable(out.Children, func(i, j int) bool { return out.Children[i].Name < out.Children[j].Name })
+	return out
+}
+
+// aggregate sums the subtree's counters and gauges into the given maps.
+func (sr *SpanReport) aggregate(counters, volatile map[string]int64) {
+	for k, n := range sr.Counters { // order-independent map merge
+		counters[k] += n
+	}
+	for k, n := range sr.Volatile { // order-independent map merge
+		volatile[k] += n
+	}
+	for _, c := range sr.Children {
+		c.aggregate(counters, volatile)
+	}
+}
+
+// WriteJSON writes the report as indented JSON. Map keys serialize in
+// sorted order (encoding/json's map contract), so the counters section is
+// byte-stable given equal values.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteFile writes the report to path (0644), creating or truncating it.
+func (rep *Report) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Render writes the human span-tree view behind the commands' -v flag:
+// one line per span with its duration and non-zero counters, children
+// indented, followed by the aggregated counter taxonomy and gauges.
+func (rep *Report) Render(w io.Writer) {
+	if rep.Spans != nil {
+		rep.Spans.render(w, 0)
+	}
+	fmt.Fprintf(w, "counters:\n")
+	for _, k := range sortedKeys(rep.Counters) {
+		fmt.Fprintf(w, "  %-28s %d\n", k, rep.Counters[k])
+	}
+	if len(rep.Volatile) > 0 {
+		fmt.Fprintf(w, "volatile:\n")
+		for _, k := range sortedKeys(rep.Volatile) {
+			fmt.Fprintf(w, "  %-28s %d\n", k, rep.Volatile[k])
+		}
+	}
+}
+
+func (sr *SpanReport) render(w io.Writer, depth int) {
+	var kv strings.Builder
+	for _, k := range sortedKeys(sr.Counters) {
+		fmt.Fprintf(&kv, " %s=%d", k, sr.Counters[k])
+	}
+	fmt.Fprintf(w, "%s%s %s%s\n", strings.Repeat("  ", depth), sr.Name, fmtNS(sr.DurNS), kv.String())
+	for _, c := range sr.Children {
+		c.render(w, depth+1)
+	}
+}
+
+// fmtNS renders nanoseconds with a readable unit.
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		//lint:ignore mapiter keys are sorted immediately below before any use, erasing map order.
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -41,6 +41,7 @@ import (
 	"repro/internal/bigmath"
 	"repro/internal/fault"
 	"repro/internal/fp"
+	"repro/internal/obs"
 )
 
 // cachePrec is the precision of cached per-mantissa / per-reduced-argument
@@ -63,6 +64,33 @@ type Stats struct {
 // Total returns the total number of queries answered.
 func (s Stats) Total() uint64 {
 	return s.Specials + s.Exacts + s.Clamps + s.Anchors + s.Shared + s.FullEvals
+}
+
+// Sub returns the counter-wise difference s − t. Taking two snapshots
+// around a phase and subtracting yields that phase's query profile; the CLI
+// uses it to attribute oracle work to the function being generated.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Specials:  s.Specials - t.Specials,
+		Exacts:    s.Exacts - t.Exacts,
+		Clamps:    s.Clamps - t.Clamps,
+		Anchors:   s.Anchors - t.Anchors,
+		Shared:    s.Shared - t.Shared,
+		FullEvals: s.FullEvals - t.FullEvals,
+		Ambiguous: s.Ambiguous - t.Ambiguous,
+	}
+}
+
+// RecordTo writes the snapshot onto sp under the oracle.* counter taxonomy:
+// queries (total answered), cache_hits (identity sharing), ziv_escalations
+// (ambiguous shared answers), full_evals, and shortcuts (specials + exacts
+// + clamps + anchors). Nil-safe like every obs write.
+func (s Stats) RecordTo(sp *obs.Span) {
+	sp.Add(obs.CtrOracleQueries, int64(s.Total()))
+	sp.Add(obs.CtrOracleCacheHits, int64(s.Shared))
+	sp.Add(obs.CtrOracleZivEscalations, int64(s.Ambiguous))
+	sp.Add(obs.CtrOracleFullEvals, int64(s.FullEvals))
+	sp.Add(obs.CtrOracleShortcuts, int64(s.Specials+s.Exacts+s.Clamps+s.Anchors))
 }
 
 // counters is the internal race-free representation of Stats.

@@ -9,6 +9,13 @@
 // results in shard order reproduces the serial enumeration order exactly,
 // and ForEach only distributes independent index-addressed work whose
 // results land in caller-owned per-index slots.
+//
+// When the run context carries an observability span (internal/obs), the
+// pool records its utilization — invocations, jobs, workers, busy and
+// wall nanoseconds — as volatile gauges. Gauges are scheduling-dependent
+// by nature and live outside the deterministic counter section of the run
+// report; the pool records no counters, so the determinism contract above
+// is untouched.
 package parallel
 
 import (
@@ -18,6 +25,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // WorkerCount resolves a worker-count option: values > 0 are used as given;
@@ -115,6 +125,28 @@ func ForEachErr(ctx context.Context, workers, n int, fn func(i int) error) error
 	if w > n {
 		w = n
 	}
+	// Pool-utilization gauges, recorded only when the context carries an
+	// observability span (one nil check otherwise). All of them depend on
+	// scheduling and the worker count, so they are volatile gauges, never
+	// counters.
+	sp := obs.SpanFrom(ctx)
+	var busyNS atomic.Int64
+	if sp != nil {
+		//lint:ignore wallclock pool-utilization gauge only; timings never feed a coefficient.
+		poolStart := time.Now()
+		defer func() {
+			//lint:ignore wallclock pool-utilization gauge only; timings never feed a coefficient.
+			wall := int64(time.Since(poolStart))
+			if w == 1 {
+				busyNS.Store(wall) // inline path: the caller's goroutine is the worker
+			}
+			sp.Gauge(obs.GaugePoolInvocations, 1)
+			sp.Gauge(obs.GaugePoolJobs, int64(n))
+			sp.Gauge(obs.GaugePoolWorkers, int64(w))
+			sp.Gauge(obs.GaugePoolBusyNS, busyNS.Load())
+			sp.Gauge(obs.GaugePoolWallNS, wall)
+		}()
+	}
 	runOne := func(worker, i int) (err error) {
 		defer func() {
 			if r := recover(); r != nil {
@@ -156,6 +188,12 @@ func ForEachErr(ctx context.Context, workers, n int, fn func(i int) error) error
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			if sp != nil {
+				//lint:ignore wallclock pool-utilization gauge only; timings never feed a coefficient.
+				workerStart := time.Now()
+				//lint:ignore wallclock pool-utilization gauge only; timings never feed a coefficient.
+				defer func() { busyNS.Add(int64(time.Since(workerStart))) }()
+			}
 			for {
 				if err := ctx.Err(); err != nil {
 					mu.Lock()

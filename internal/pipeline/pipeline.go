@@ -1,6 +1,6 @@
 // Package pipeline provides the staged-generation infrastructure behind
 // internal/gen: a typed stage abstraction plus a content-addressed on-disk
-// artifact store.
+// artifact store, instrumented for the internal/obs observability layer.
 //
 // The generator is organized as four explicit stages — Enumerate (oracle →
 // rounding intervals), Reduce (intervals → merged constraint set), Solve
@@ -27,6 +27,13 @@
 // never read, only orphaned. A corrupt artifact (truncated write, bit rot,
 // foreign file) fails its checksum or decode, is deleted, and the stage is
 // recomputed transparently.
+//
+// Observability: when the run context carries an obs span, Run opens a
+// child span per stage (so nested stages — solve probing reduce probing
+// enumerate — form a true tree) and records store hit/miss/byte counters
+// on it. The instrumentation is write-only and nil-safe: with
+// observability off it costs one nil check, and it never alters what Run
+// computes or stores.
 package pipeline
 
 import (
@@ -35,6 +42,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // Codec describes the on-disk encoding of one artifact type. Name and
@@ -73,10 +81,14 @@ type Logf func(string, ...interface{})
 // cache write is logged and otherwise ignored — caching is an
 // optimization, never a correctness dependency.
 //
+// compute receives a context derived from ctx that carries this stage's
+// obs span, so artifacts computed inside (nested stages, piece solves)
+// attach their spans under it.
+//
 // Cancellation is checked at the stage boundary: a done ctx returns a
 // fault.Error with CodeCanceled before any probe or compute, so every
 // artifact already in the store stays valid and a rerun resumes from it.
-func Run[T any](ctx context.Context, st *Store, key Key, c Codec[T], logf Logf, compute func() (T, error)) (value T, fromCache bool, err error) {
+func Run[T any](ctx context.Context, st *Store, key Key, c Codec[T], logf Logf, compute func(context.Context) (T, error)) (value T, fromCache bool, err error) {
 	if cerr := ctx.Err(); cerr != nil {
 		var zero T
 		return zero, false, fault.New(fault.CodeCanceled, key.Stage, "run", cerr).WithFunc(key.Func)
@@ -84,8 +96,11 @@ func Run[T any](ctx context.Context, st *Store, key Key, c Codec[T], logf Logf, 
 	if logf == nil {
 		logf = func(string, ...interface{}) {}
 	}
+	sp := obs.SpanFrom(ctx).Child(key.Stage)
+	defer sp.End()
+	ctx = obs.WithSpan(ctx, sp)
 	if st == nil {
-		v, err := compute()
+		v, err := compute(ctx)
 		return v, false, err
 	}
 	path := st.path(key, c.Name, c.Version)
@@ -93,6 +108,8 @@ func Run[T any](ctx context.Context, st *Store, key Key, c Codec[T], logf Logf, 
 		v, derr := decodeArtifact(data, c)
 		if derr == nil {
 			st.record(key, true)
+			sp.Add(obs.CtrStoreHits, 1)
+			sp.Add(obs.CtrStoreBytesRead, int64(len(data)))
 			logf("cache: %s %s stage hit (%s)", key.Func, key.Stage, filepath.Base(path))
 			return v, true, nil
 		}
@@ -100,15 +117,19 @@ func Run[T any](ctx context.Context, st *Store, key Key, c Codec[T], logf Logf, 
 		_ = os.Remove(path)
 	}
 	st.record(key, false)
-	v, err := compute()
+	sp.Add(obs.CtrStoreMisses, 1)
+	v, err := compute(ctx)
 	if err != nil {
 		var zero T
 		return zero, false, err
 	}
 	var e Enc
 	c.Encode(&e, v)
-	if werr := st.write(path, Seal(c.Name, c.Version, e.Bytes())); werr != nil {
+	sealed := Seal(c.Name, c.Version, e.Bytes())
+	if werr := st.write(path, sealed); werr != nil {
 		logf("cache: %s %s stage: write failed: %v (continuing uncached)", key.Func, key.Stage, werr)
+	} else {
+		sp.Add(obs.CtrStoreBytesWritten, int64(len(sealed)))
 	}
 	return v, false, nil
 }

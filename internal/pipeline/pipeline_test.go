@@ -43,7 +43,7 @@ func TestRunColdThenWarm(t *testing.T) {
 	}
 	want := []float64{1, math.Pi, -0.5, math.Inf(1)}
 	computes := 0
-	compute := func() ([]float64, error) { computes++; return want, nil }
+	compute := func(context.Context) ([]float64, error) { computes++; return want, nil }
 
 	got, hit, err := Run(context.Background(), st, testKey(), testCodec, nil, compute)
 	if err != nil || hit {
@@ -71,7 +71,7 @@ func TestRunColdThenWarm(t *testing.T) {
 }
 
 func TestRunNilStore(t *testing.T) {
-	v, hit, err := Run(context.Background(), nil, testKey(), testCodec, nil, func() ([]float64, error) { return []float64{7}, nil })
+	v, hit, err := Run(context.Background(), nil, testKey(), testCodec, nil, func(context.Context) ([]float64, error) { return []float64{7}, nil })
 	if err != nil || hit || len(v) != 1 {
 		t.Fatalf("nil store: v=%v hit=%v err=%v", v, hit, err)
 	}
@@ -83,11 +83,11 @@ func TestRunComputeError(t *testing.T) {
 		t.Fatal(err)
 	}
 	boom := errors.New("boom")
-	if _, _, err := Run(context.Background(), st, testKey(), testCodec, nil, func() ([]float64, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, _, err := Run(context.Background(), st, testKey(), testCodec, nil, func(context.Context) ([]float64, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 	// The failure must not have been cached.
-	if _, hit, _ := Run(context.Background(), st, testKey(), testCodec, nil, func() ([]float64, error) { return []float64{1}, nil }); hit {
+	if _, hit, _ := Run(context.Background(), st, testKey(), testCodec, nil, func(context.Context) ([]float64, error) { return []float64{1}, nil }); hit {
 		t.Fatal("failed compute was cached")
 	}
 }
@@ -115,7 +115,7 @@ func TestRunCorruptArtifactRegenerates(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []float64{1, 2, 3}
-	if _, _, err := Run(context.Background(), st, testKey(), testCodec, nil, func() ([]float64, error) { return want, nil }); err != nil {
+	if _, _, err := Run(context.Background(), st, testKey(), testCodec, nil, func(context.Context) ([]float64, error) { return want, nil }); err != nil {
 		t.Fatal(err)
 	}
 	path := artifactFile(t, dir)
@@ -127,7 +127,7 @@ func TestRunCorruptArtifactRegenerates(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	got, hit, err := Run(context.Background(), st, testKey(), testCodec, nil, func() ([]float64, error) { return want, nil })
+	got, hit, err := Run(context.Background(), st, testKey(), testCodec, nil, func(context.Context) ([]float64, error) { return want, nil })
 	if err != nil || hit {
 		t.Fatalf("corrupt artifact: hit=%v err=%v", hit, err)
 	}
@@ -135,7 +135,7 @@ func TestRunCorruptArtifactRegenerates(t *testing.T) {
 		t.Fatalf("regenerated value: %v", got)
 	}
 	// The regeneration rewrote a valid artifact.
-	if _, hit, err := Run(context.Background(), st, testKey(), testCodec, nil, func() ([]float64, error) { return want, nil }); err != nil || !hit {
+	if _, hit, err := Run(context.Background(), st, testKey(), testCodec, nil, func(context.Context) ([]float64, error) { return want, nil }); err != nil || !hit {
 		t.Fatalf("after regeneration: hit=%v err=%v", hit, err)
 	}
 }
@@ -277,7 +277,7 @@ func TestRunCanceledContext(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, _, err = Run(ctx, st, testKey(), testCodec, nil, func() ([]float64, error) {
+	_, _, err = Run(ctx, st, testKey(), testCodec, nil, func(context.Context) ([]float64, error) {
 		t.Error("compute ran despite cancellation")
 		return nil, nil
 	})
@@ -298,7 +298,7 @@ func TestRunCanceledContext(t *testing.T) {
 // store stays audit-clean.
 func TestStoreInjectedFaults(t *testing.T) {
 	want := []float64{4, 5, 6}
-	compute := func() ([]float64, error) { return want, nil }
+	compute := func(context.Context) ([]float64, error) { return want, nil }
 	for _, tc := range []struct {
 		site fault.Site
 		warm bool // fault injected on the warm (read) path
@@ -352,7 +352,7 @@ func TestAuditFlagsTempAndCorruptFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := Run(context.Background(), st, testKey(), testCodec, nil, func() ([]float64, error) { return []float64{1}, nil }); err != nil {
+	if _, _, err := Run(context.Background(), st, testKey(), testCodec, nil, func(context.Context) ([]float64, error) { return []float64{1}, nil }); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Audit(); err != nil {
