@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check check-fault test race bench bench-parallel bench-pipeline bench-obs vet build lint report
+.PHONY: check check-fault test race bench bench-parallel bench-pipeline bench-obs bench-eval vet build lint report
 
 check:
 	@echo '== vet =='
@@ -64,6 +64,12 @@ bench-pipeline:
 bench-obs:
 	$(GO) test -bench 'Pipeline' -run '^$$' -benchtime 50x -count 3 .
 	$(GO) test -bench 'PipelineWarm' -run '^$$' -benchtime 500x -count 5 .
+
+# Serving-layer cost: per-call Result.Eval vs the compiled batch kernel of
+# internal/eval, truncated vs full evaluation (the numbers behind
+# BENCH_eval.json).
+bench-eval:
+	$(GO) test -bench '^BenchmarkEval$$' -run '^$$' -benchtime 3000x -count 3 .
 
 # Generate a small function with observability on and show the run report:
 # the span tree renders to stderr (-v) and report.json lands next to the

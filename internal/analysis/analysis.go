@@ -64,7 +64,7 @@ type Analyzer struct {
 
 // All returns the full registry, in report order.
 func All() []*Analyzer {
-	return []*Analyzer{MapIter, SeedRand, WallClock, FloatEq, BigPrec, PoolCapture, CacheKey, BarePanic, ObsLeak}
+	return []*Analyzer{MapIter, SeedRand, WallClock, FloatEq, BigPrec, PoolCapture, CacheKey, BarePanic, ObsLeak, EvalHot}
 }
 
 // RunPackage runs the analyzers over one loaded package, applies the

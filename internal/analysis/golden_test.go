@@ -35,6 +35,7 @@ func TestGolden(t *testing.T) {
 		{"cachekey", []*Analyzer{CacheKey}, false},
 		{"barepanic", []*Analyzer{BarePanic}, true},
 		{"obsleak", []*Analyzer{ObsLeak}, true},
+		{"evalhot", []*Analyzer{EvalHot}, false},
 		// The suppression fixtures run the full registry: suppressed holds
 		// one justified ignore per analyzer (golden is empty), badignore
 		// proves malformed directives are reported and suppress nothing.

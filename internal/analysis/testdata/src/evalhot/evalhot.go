@@ -1,0 +1,42 @@
+// Package evalhot exercises the evalhot analyzer: functions carrying the
+// //evalhot:loop doc-comment marker must stay free of math/big, dynamic
+// interface calls, sort and allocating expressions; unmarked functions may
+// do anything.
+package evalhot
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+)
+
+// Reducer stands in for a not-yet-devirtualized reduction scheme.
+type Reducer interface {
+	Reduce(x float64) float64
+}
+
+// hotLoop violates every rule at least once.
+//
+//evalhot:loop
+func hotLoop(dst []uint64, src, bounds []float64, red Reducer) {
+	for i, x := range src {
+		r := red.Reduce(x)                  // dynamic interface call
+		j := sort.SearchFloat64s(bounds, r) // per-input binary search
+		scratch := make([]float64, 1)       // allocation in the loop
+		scratch = append(scratch, r)        // and another
+		coeffs := []float64{1, r}           // slice literal allocates
+		f := func() float64 { return r }    // closure allocates
+		exact := big.NewFloat(r)            // arbitrary precision in serving
+		msg := "piece " + fmt.Sprint(j)     // string concat + fmt both allocate
+		_, _, _, _ = scratch, coeffs, msg, exact
+		dst[i] = uint64(j) + uint64(f())
+	}
+}
+
+// warmSetup has no marker: the same constructs are fine at Compile time.
+func warmSetup(bounds []float64) []float64 {
+	out := make([]float64, len(bounds))
+	copy(out, bounds)
+	sort.Float64s(out)
+	return append(out, 1)
+}

@@ -59,3 +59,15 @@ func invariant(ok bool) {
 }
 
 func (o opts) Fingerprint() string { return string(rune(o.bits)) }
+
+// hot demonstrates a justified suppression inside a marked hot loop.
+//
+//evalhot:loop
+func hot(dst, src []float64) {
+	//lint:ignore evalhot fixture demonstrates a justified one-off scratch allocation.
+	scratch := make([]float64, 1)
+	for i, x := range src {
+		scratch[0] = x
+		dst[i] = scratch[0]
+	}
+}

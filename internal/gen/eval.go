@@ -50,10 +50,12 @@ func (res *Result) ServingLevel(f fp.Format, mode fp.Mode) (int, bool) {
 
 // Eval evaluates the generated implementation: input x (which must be a
 // value of the level li's format), evaluated with level li's progressive
-// term counts, rounded into out under mode. This is the production code
+// term counts, rounded into out under mode. This is the reference code
 // path: special-path check, special-input table, range reduction,
 // structured Horner with the level's term count, output compensation,
-// rounding.
+// rounding. The compiled batch kernels of internal/eval are pinned
+// bit-identical to this function; a semantic change here must be matched
+// there (the exhaustive equivalence tests in internal/eval catch drift).
 func (res *Result) Eval(x float64, li int, out fp.Format, mode fp.Mode) uint64 {
 	scheme := res.Scheme()
 	ctx, regular := scheme.Reduce(x)

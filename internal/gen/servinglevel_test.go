@@ -1,0 +1,74 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/fp"
+)
+
+// TestServingLevel pins the dispatch rule that Compile and Eval rely on: a
+// lower level's truncated evaluation is certified only for that level's
+// exact format under round-to-nearest-even, unless the table was generated
+// with round-to-odd constraints (ProgressiveRO), in which case every lower
+// level serves all formats up to its width under every mode. Everything
+// else falls through to the largest level's full evaluation.
+func TestServingLevel(t *testing.T) {
+	ladder := []fp.Format{fp.Bfloat16, fp.TensorFloat32, fp.MustFormat(25, 8)}
+	rnTable := &Result{Levels: ladder}
+	roTable := &Result{Levels: ladder, ProgressiveRO: true}
+	single := &Result{Levels: []fp.Format{fp.TensorFloat32}}
+
+	between := fp.MustFormat(17, 8) // strictly between bfloat16 and tf32
+	narrow := fp.MustFormat(12, 8)  // narrower than every level
+	wide := fp.MustFormat(26, 8)    // wider than the whole ladder
+
+	cases := []struct {
+		name string
+		res  *Result
+		f    fp.Format
+		mode fp.Mode
+		li   int
+		ok   bool
+	}{
+		// rn + exact level format → that level's truncated evaluation.
+		{"rn exact lowest", rnTable, fp.Bfloat16, fp.RoundNearestEven, 0, true},
+		{"rn exact middle", rnTable, fp.TensorFloat32, fp.RoundNearestEven, 1, true},
+		{"rn exact largest", rnTable, ladder[2], fp.RoundNearestEven, 2, true},
+		// Same width but any other mode → the full largest level.
+		{"rz exact lowest", rnTable, fp.Bfloat16, fp.RoundTowardZero, 2, true},
+		{"ra exact middle", rnTable, fp.TensorFloat32, fp.RoundNearestAway, 2, true},
+		{"ro exact lowest", rnTable, fp.Bfloat16, fp.RoundToOdd, 2, true},
+		// Non-exact widths under rn: only round-to-odd evaluation covers
+		// them, so they also go to the largest level.
+		{"rn narrower than ladder", rnTable, narrow, fp.RoundNearestEven, 2, true},
+		{"rn between levels", rnTable, between, fp.RoundNearestEven, 2, true},
+		// Wider than the ladder is unservable regardless of table or mode.
+		{"rn too wide", rnTable, wide, fp.RoundNearestEven, 0, false},
+		{"ro-table too wide", roTable, wide, fp.RoundTowardPositive, 0, false},
+		// ProgressiveRO tables: the smallest covering level serves any
+		// format up to its width under any mode.
+		{"ro-table narrow rz", roTable, narrow, fp.RoundTowardZero, 0, true},
+		{"ro-table exact lowest rd", roTable, fp.Bfloat16, fp.RoundTowardNegative, 0, true},
+		{"ro-table between ru", roTable, between, fp.RoundTowardPositive, 1, true},
+		{"ro-table exact middle ro", roTable, fp.TensorFloat32, fp.RoundToOdd, 1, true},
+		{"ro-table largest ra", roTable, ladder[2], fp.RoundNearestAway, 2, true},
+		// A one-level ladder serves everything it covers from that level.
+		{"single exact rn", single, fp.TensorFloat32, fp.RoundNearestEven, 0, true},
+		{"single narrower rz", single, narrow, fp.RoundTowardZero, 0, true},
+		{"single too wide", single, fp.MustFormat(20, 8), fp.RoundNearestEven, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			li, ok := tc.res.ServingLevel(tc.f, tc.mode)
+			if li != tc.li || ok != tc.ok {
+				t.Errorf("ServingLevel(%v, %v) = (%d, %v), want (%d, %v)",
+					tc.f, tc.mode, li, ok, tc.li, tc.ok)
+			}
+			if lf, lok := tc.res.LevelFor(tc.f); tc.ok && !lok {
+				t.Errorf("LevelFor(%v) not ok but ServingLevel is", tc.f)
+			} else if lok && tc.ok && li < lf {
+				t.Errorf("ServingLevel %d below LevelFor %d: serving level cannot be narrower than the query", li, lf)
+			}
+		})
+	}
+}

@@ -12,12 +12,56 @@
 package libm
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/bigmath"
 	"repro/internal/fp"
 	"repro/internal/gen"
 )
+
+// Sentinel errors of the lookup paths, matchable with errors.Is. The
+// returned errors wrap these with the function name; every wrapped instance
+// is built once at package init, so a missing-table miss on a hot serving
+// path allocates nothing.
+var (
+	// ErrNoTables reports that progressive tables are not registered for
+	// the function (run cmd/rlibm-gen -emit internal/libm).
+	ErrNoTables = errors.New("no generated tables")
+	// ErrNoBaseline reports that RLibm-All baseline tables are not
+	// registered (run cmd/rlibm-gen -baseline -emit internal/libm).
+	ErrNoBaseline = errors.New("no baseline tables")
+	// ErrTooWide reports an output format wider than the generated levels.
+	ErrTooWide = errors.New("format wider than the generated levels")
+)
+
+// Per-function wrapped sentinels, precomputed so error paths are
+// allocation-free. The last slot serves out-of-range Func values.
+var (
+	errNoTables   [bigmath.NumFuncs + 1]error
+	errNoBaseline [bigmath.NumFuncs + 1]error
+	errTooWide    [bigmath.NumFuncs + 1]error
+)
+
+func init() {
+	for fn := bigmath.Func(0); fn <= bigmath.NumFuncs; fn++ {
+		name := "unknown function"
+		if fn < bigmath.NumFuncs {
+			name = fn.String()
+		}
+		errNoTables[fn] = fmt.Errorf("libm: %s: %w (run cmd/rlibm-gen -emit)", name, ErrNoTables)
+		errNoBaseline[fn] = fmt.Errorf("libm: %s: %w (run cmd/rlibm-gen -baseline -emit)", name, ErrNoBaseline)
+		errTooWide[fn] = fmt.Errorf("libm: %s: %w", name, ErrTooWide)
+	}
+}
+
+// errFor clamps fn into the precomputed error tables.
+func errFor(table *[bigmath.NumFuncs + 1]error, fn bigmath.Func) error {
+	if fn < 0 || fn >= bigmath.NumFuncs {
+		fn = bigmath.NumFuncs
+	}
+	return table[fn]
+}
 
 var (
 	progressive [bigmath.NumFuncs]*gen.Result
@@ -30,19 +74,20 @@ func register(res *gen.Result) { progressive[res.Fn] = res }
 // registerBaseline is called by the generated RLibm-All baseline files.
 func registerBaseline(res *gen.Result) { rlibmAll[res.Fn] = res }
 
-// Progressive returns the RLIBM-Prog implementation of fn, or an error if
-// its tables have not been generated.
+// Progressive returns the RLIBM-Prog implementation of fn, or an error
+// wrapping ErrNoTables if its tables have not been generated.
 func Progressive(fn bigmath.Func) (*gen.Result, error) {
 	if fn < 0 || fn >= bigmath.NumFuncs || progressive[fn] == nil {
-		return nil, fmt.Errorf("libm: no generated tables for %v (run cmd/rlibm-gen -emit)", fn)
+		return nil, errFor(&errNoTables, fn)
 	}
 	return progressive[fn], nil
 }
 
-// RLibmAll returns the RLibm-All piecewise baseline implementation of fn.
+// RLibmAll returns the RLibm-All piecewise baseline implementation of fn,
+// or an error wrapping ErrNoBaseline.
 func RLibmAll(fn bigmath.Func) (*gen.Result, error) {
 	if fn < 0 || fn >= bigmath.NumFuncs || rlibmAll[fn] == nil {
-		return nil, fmt.Errorf("libm: no baseline tables for %v (run cmd/rlibm-gen -baseline -emit)", fn)
+		return nil, errFor(&errNoBaseline, fn)
 	}
 	return rlibmAll[fn], nil
 }
@@ -66,7 +111,7 @@ func Eval(fn bigmath.Func, x float64, out fp.Format, mode fp.Mode) (uint64, erro
 	}
 	li, ok := res.ServingLevel(out, mode)
 	if !ok {
-		return 0, fmt.Errorf("libm: %v wider than the generated levels", out)
+		return 0, errFor(&errTooWide, fn)
 	}
 	return res.Eval(x, li, out, mode), nil
 }

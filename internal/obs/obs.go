@@ -91,6 +91,16 @@ const (
 	CtrStoreMisses       Counter = "store.misses"
 	CtrStoreBytesRead    Counter = "store.bytes_read"
 	CtrStoreBytesWritten Counter = "store.bytes_written"
+
+	// Batched serving-path evaluation (internal/eval). Recorded once per
+	// EvalBatch call — never per input — so the hot loop stays free of
+	// locks and allocation; a kernel without an attached span records
+	// nothing (nil-safe writes, like every other instrumented path).
+	CtrEvalBatches     Counter = "eval.batches"      // EvalBatch calls
+	CtrEvalInputs      Counter = "eval.inputs"       // inputs across those calls
+	CtrEvalSpecialHits Counter = "eval.special_hits" // special-path and special-table answers
+	CtrEvalTruncated   Counter = "eval.truncated"    // truncated-prefix polynomial evaluations
+	CtrEvalFull        Counter = "eval.full"         // full (largest-level) polynomial evaluations
 )
 
 // Taxonomy returns every counter, in report order.
@@ -104,6 +114,7 @@ func Taxonomy() []Counter {
 		CtrRowsEnumerated, CtrRowsReduced,
 		CtrSpecialsResolved, CtrVerifyPatched,
 		CtrStoreHits, CtrStoreMisses, CtrStoreBytesRead, CtrStoreBytesWritten,
+		CtrEvalBatches, CtrEvalInputs, CtrEvalSpecialHits, CtrEvalTruncated, CtrEvalFull,
 	}
 }
 
