@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check check-fault test race bench bench-parallel bench-pipeline bench-obs bench-eval vet build lint report
+.PHONY: check check-fault test race bench bench-parallel bench-pipeline bench-obs bench-eval vet build lint lint-json report
 
 check:
 	@echo '== vet =='
@@ -30,6 +30,12 @@ build:
 # concurrency contracts that go vet cannot see (see internal/analysis).
 lint:
 	$(GO) run ./cmd/rlibm-lint ./...
+
+# Machine-readable findings (including interprocedural witness paths) for
+# CI artifact upload and external tooling. Exit status is the linter's, so
+# a red tree still fails; the JSON lands in rlibm-lint.json either way.
+lint-json:
+	$(GO) run ./cmd/rlibm-lint -json ./... > rlibm-lint.json
 
 # The fault-injection matrix: every site × occurrence × worker count must
 # recover bit-identically or fail with a typed fault.Error, and never leave

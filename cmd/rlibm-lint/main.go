@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	rlibm-lint [-json] [-list] [packages]
+//	rlibm-lint [-json] [-list] [-why] [-only names] [-skip names] [packages]
 //
 // Packages default to ./... (the whole module). The exit status is 0 when
 // the tree is clean, 1 when any analyzer reports a finding, and 2 on a
@@ -15,6 +15,13 @@
 //
 // and can be suppressed in source with //lint:ignore <analyzer> <reason>
 // (see the internal/analysis package documentation for the policy).
+//
+// Interprocedural findings (nondetflow, ctxflow, escalated evalhot) carry a
+// witness call path; -why prints it indented under the finding, and -json
+// always includes it as a "path" array. -only and -skip take comma-separated
+// analyzer names (-skip is applied after -only); stale-ignore detection only
+// considers analyzers that actually ran, so narrowed runs never misreport
+// suppressions of the analyzers they skipped.
 package main
 
 import (
@@ -30,9 +37,12 @@ func main() {
 	var (
 		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
 		list    = flag.Bool("list", false, "list registered analyzers and exit")
+		why     = flag.Bool("why", false, "print the witness call path under interprocedural findings")
+		only    = flag.String("only", "", "comma-separated analyzer names to run exclusively")
+		skip    = flag.String("skip", "", "comma-separated analyzer names to skip")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: rlibm-lint [-json] [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: rlibm-lint [-json] [-list] [-why] [-only names] [-skip names] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -42,6 +52,12 @@ func main() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+
+	analyzers, err := analysis.Select(*only, *skip)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rlibm-lint: %v\n", err)
+		os.Exit(2)
 	}
 
 	mod, err := analysis.Load(".")
@@ -72,21 +88,31 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rlibm-lint: %v\n", err)
 			os.Exit(2)
 		}
-		diags = append(diags, analysis.RunPackage(mod, pkg, analysis.All())...)
+		diags = append(diags, analysis.RunPackage(mod, pkg, analyzers)...)
 	}
 
 	if *jsonOut {
+		type jsonStep struct {
+			Func string `json:"func"`
+			File string `json:"file"`
+			Line int    `json:"line"`
+		}
 		type jsonDiag struct {
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Col      int    `json:"col"`
-			Analyzer string `json:"analyzer"`
-			Message  string `json:"message"`
+			File     string     `json:"file"`
+			Line     int        `json:"line"`
+			Col      int        `json:"col"`
+			Analyzer string     `json:"analyzer"`
+			Message  string     `json:"message"`
+			Path     []jsonStep `json:"path,omitempty"`
 		}
 		out := make([]jsonDiag, 0, len(diags))
 		for _, d := range diags {
-			out = append(out, jsonDiag{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
-				Analyzer: d.Analyzer, Message: d.Message})
+			jd := jsonDiag{File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message}
+			for _, s := range d.Path {
+				jd.Path = append(jd.Path, jsonStep{Func: s.Func, File: s.Pos.Filename, Line: s.Pos.Line})
+			}
+			out = append(out, jd)
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -97,6 +123,11 @@ func main() {
 	} else {
 		for _, d := range diags {
 			fmt.Println(d)
+			if *why {
+				for _, line := range d.Witness() {
+					fmt.Println("\t" + line)
+				}
+			}
 		}
 	}
 	if len(diags) > 0 {

@@ -30,11 +30,15 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding.
+// Diagnostic is one finding. Interprocedural findings additionally carry a
+// witness Path: the call chain from the analysis root (a generation entry
+// point, a hot-loop marker, a taint source) down to the violation, which
+// `rlibm-lint -why` renders under the finding.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Path     []PathStep
 }
 
 // String formats the finding as file:line:col: [name] message.
@@ -42,12 +46,32 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Pass is the per-package view handed to each analyzer.
+// Witness renders the finding's interprocedural call path, one line per
+// step, empty for intraprocedural findings.
+func (d Diagnostic) Witness() []string {
+	if len(d.Path) == 0 {
+		return nil
+	}
+	out := make([]string, len(d.Path))
+	for i, s := range d.Path {
+		arrow := "   "
+		if i > 0 {
+			arrow = " → "
+		}
+		out[i] = fmt.Sprintf("%s%s (%s:%d)", arrow, s.Func, s.Pos.Filename, s.Pos.Line)
+	}
+	return out
+}
+
+// Pass is the per-package view handed to each analyzer. Interp is the
+// unit's interprocedural state; it is non-nil whenever any analyzer in the
+// run declares Interprocedural (and the unit loaded cleanly).
 type Pass struct {
 	Module *Module
 	Fset   *token.FileSet
 	Pkg    *Package
 	Info   *types.Info
+	Interp *Interp
 }
 
 // report constructs a Diagnostic for node under analyzer name.
@@ -55,23 +79,81 @@ func (p *Pass) report(name string, node ast.Node, format string, args ...interfa
 	return Diagnostic{Pos: p.Fset.Position(node.Pos()), Analyzer: name, Message: fmt.Sprintf(format, args...)}
 }
 
-// Analyzer is one registered check.
+// Analyzer is one registered check. Interprocedural analyzers receive the
+// unit call graph and dataflow state through Pass.Interp.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) []Diagnostic
+	Name            string
+	Doc             string
+	Run             func(*Pass) []Diagnostic
+	Interprocedural bool
 }
 
 // All returns the full registry, in report order.
 func All() []*Analyzer {
-	return []*Analyzer{MapIter, SeedRand, WallClock, FloatEq, BigPrec, PoolCapture, CacheKey, BarePanic, ObsLeak, EvalHot}
+	return []*Analyzer{MapIter, SeedRand, WallClock, FloatEq, BigPrec, PoolCapture, CacheKey, BarePanic, ObsLeak, EvalHot, NondetFlow, CtxFlow}
+}
+
+// Select resolves the -only/-skip analyzer selections against the
+// registry: comma-separated names, applied in registry order, -skip after
+// -only. An unknown name fails with the commands' unified invalid-flag
+// message.
+func Select(only, skip string) ([]*Analyzer, error) {
+	byName := make(map[string]bool)
+	for _, a := range All() {
+		byName[a.Name] = true
+	}
+	parse := func(flagName, v string) (map[string]bool, error) {
+		if v == "" {
+			return nil, nil
+		}
+		set := make(map[string]bool)
+		for _, name := range strings.Split(v, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !byName[name] {
+				return nil, fmt.Errorf("invalid -%s %s: must name a registered analyzer (rlibm-lint -list prints the registry)", flagName, name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse("only", only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse("skip", skip)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Analyzer
+	for _, a := range All() {
+		if onlySet != nil && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
 }
 
 // RunPackage runs the analyzers over one loaded package, applies the
 // //lint:ignore suppressions, and returns the surviving diagnostics plus
-// any badignore findings, sorted by position.
+// any badignore findings, sorted by position. A suppression directive
+// naming an analyzer that ran but caught nothing is itself reported as
+// stale: dead ignores otherwise accumulate and mask future regressions at
+// the same line.
 func RunPackage(m *Module, pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	pass := &Pass{Module: m, Fset: m.Fset, Pkg: pkg, Info: pkg.Info}
+	for _, a := range analyzers {
+		if a.Interprocedural {
+			pass.Interp = m.interpFor(pkg)
+			break
+		}
+	}
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		diags = append(diags, a.Run(pass)...)
@@ -80,8 +162,22 @@ func RunPackage(m *Module, pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	for _, a := range All() {
 		known[a.Name] = true
 	}
+	ran := make(map[string]bool)
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	ignores, bad := collectIgnores(m.Fset, pkg.Files, known)
 	diags = applyIgnores(diags, ignores)
+	for _, ig := range ignores {
+		if ig.used == nil || *ig.used || !ran[ig.name] {
+			continue
+		}
+		bad = append(bad, Diagnostic{
+			Pos:      ig.pos,
+			Analyzer: "badignore",
+			Message:  fmt.Sprintf("//lint:%s %s suppresses no %s diagnostic: the ignore is stale; delete it or re-justify it against a live finding", ig.directive(), ig.name, ig.name),
+		})
+	}
 	diags = append(diags, bad...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -99,12 +195,24 @@ func RunPackage(m *Module, pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	return diags
 }
 
-// ignoreDirective is one parsed //lint:ignore or //lint:file-ignore.
+// ignoreDirective is one parsed //lint:ignore or //lint:file-ignore. used
+// is set by applyIgnores when the directive suppresses at least one
+// diagnostic; a directive whose analyzer ran but never matched is stale.
 type ignoreDirective struct {
 	file      string
 	line      int
+	pos       token.Position
 	name      string
 	fileLevel bool
+	used      *bool
+}
+
+// directive returns the source spelling of the directive keyword.
+func (ig ignoreDirective) directive() string {
+	if ig.fileLevel {
+		return "file-ignore"
+	}
+	return "ignore"
 }
 
 // collectIgnores parses the suppression comments of the package files,
@@ -143,7 +251,7 @@ func collectIgnores(fset *token.FileSet, files []*ast.File, known map[string]boo
 						Message: fmt.Sprintf("//lint:%s names unknown analyzer %q", fields[0], fields[1])})
 					continue
 				}
-				out = append(out, ignoreDirective{file: pos.Filename, line: pos.Line, name: fields[1], fileLevel: fileLevel})
+				out = append(out, ignoreDirective{file: pos.Filename, line: pos.Line, pos: pos, name: fields[1], fileLevel: fileLevel, used: new(bool)})
 			}
 		}
 	}
@@ -152,7 +260,9 @@ func collectIgnores(fset *token.FileSet, files []*ast.File, known map[string]boo
 
 // applyIgnores drops every diagnostic covered by a directive: file-level
 // directives cover their whole file; line directives cover their own line
-// (trailing comment) and the line below (preceding comment).
+// (trailing comment) and the line below (preceding comment). Every
+// covering directive is marked used, not just the first, so overlapping
+// directives are not misreported as stale.
 func applyIgnores(diags []Diagnostic, ignores []ignoreDirective) []Diagnostic {
 	if len(ignores) == 0 {
 		return diags
@@ -166,7 +276,9 @@ func applyIgnores(diags []Diagnostic, ignores []ignoreDirective) []Diagnostic {
 			}
 			if ig.fileLevel || ig.line == d.Pos.Line || ig.line == d.Pos.Line-1 {
 				suppressed = true
-				break
+				if ig.used != nil {
+					*ig.used = true
+				}
 			}
 		}
 		if !suppressed {

@@ -1,0 +1,345 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file builds the whole-unit static call graph the interprocedural
+// analyzers (nondetflow, ctxflow, the evalhot escalation) reason over. A
+// "unit" is the set of packages analyzed together: the full module for
+// rlibm-lint runs, a single fixture package for golden tests.
+//
+// Resolution policy, from precise to conservative:
+//
+//   - direct calls and statically resolved method calls bind through
+//     go/types (renamed imports, embedded promotions and pointer receivers
+//     all resolve correctly);
+//   - a call on an interface method adds an edge to every unit method with
+//     the same name whose receiver type (or its pointer) implements the
+//     interface;
+//   - a call through a function value (a variable, field, parameter or call
+//     result of function type) adds an edge to every unit function whose
+//     address is taken somewhere in the unit and whose signature is
+//     identical to the call's.
+//
+// Function literals are attributed to their enclosing declaration: a call
+// made inside a closure counts as a call by the function that contains the
+// literal. This over-approximates (the closure may run later, on another
+// goroutine) but never loses an edge, which is the direction the analyzers
+// need. Calls into packages outside the unit become leaf nodes with no
+// body; the graph never follows them.
+
+// EdgeKind classifies how a call edge was resolved.
+type EdgeKind uint8
+
+const (
+	// EdgeStatic is a direct call or a statically bound method call.
+	EdgeStatic EdgeKind = iota
+	// EdgeDynamic is a conservative edge from an interface method call to a
+	// concrete method that may implement it.
+	EdgeDynamic
+	// EdgeValue is a conservative edge from a call through a function value
+	// to an address-taken function with an identical signature.
+	EdgeValue
+)
+
+// Node is one function in the call graph. External functions (declared
+// outside the unit, typically standard library) have a nil Decl and Pkg and
+// no outgoing edges.
+type Node struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl // nil for external functions
+	Pkg  *Package      // declaring package; nil for external functions
+	Out  []*Edge       // outgoing call edges, in source order
+}
+
+// Name returns the node's fully qualified function name.
+func (n *Node) Name() string { return n.Fn.FullName() }
+
+// Edge is one call site resolved to one possible callee. A dynamic or
+// value call site yields one Edge per candidate.
+type Edge struct {
+	Caller *Node
+	Callee *Node
+	Call   *ast.CallExpr
+	Kind   EdgeKind
+}
+
+// Graph is the unit call graph.
+type Graph struct {
+	Fset  *token.FileSet
+	Nodes []*Node // unit nodes (with bodies), deterministic order
+
+	byFn      map[*types.Func]*Node
+	addrTaken map[*types.Func]bool
+	byCall    map[*ast.CallExpr][]*Edge
+}
+
+// NodeOf returns the graph node for fn, or nil.
+func (g *Graph) NodeOf(fn *types.Func) *Node { return g.byFn[fn] }
+
+// CalleesOf returns the edges resolved for one call expression (empty for
+// builtins and conversions).
+func (g *Graph) CalleesOf(call *ast.CallExpr) []*Edge { return g.byCall[call] }
+
+// BuildGraph constructs the call graph over the unit packages. The packages
+// are processed in sorted import-path order and files in parse order, so
+// node and edge order is deterministic.
+func BuildGraph(fset *token.FileSet, pkgs []*Package) *Graph {
+	g := &Graph{
+		Fset:      fset,
+		byFn:      make(map[*types.Func]*Node),
+		addrTaken: make(map[*types.Func]bool),
+		byCall:    make(map[*ast.CallExpr][]*Edge),
+	}
+	sorted := append([]*Package(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+
+	// Pass 1: one node per declared function.
+	for _, pkg := range sorted {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{Fn: fn, Decl: fd, Pkg: pkg}
+				g.byFn[fn] = n
+				g.Nodes = append(g.Nodes, n)
+			}
+		}
+	}
+
+	// Pass 2: address-taken functions. Any identifier resolving to a
+	// function that is not the callee position of a call marks the function
+	// as a possible function-value target.
+	for _, n := range g.Nodes {
+		calleeIdents := make(map[*ast.Ident]bool)
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				calleeIdents[fun] = true
+			case *ast.SelectorExpr:
+				calleeIdents[fun.Sel] = true
+			}
+			return true
+		})
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			id, ok := node.(*ast.Ident)
+			if !ok || calleeIdents[id] {
+				return true
+			}
+			if fn, ok := n.Pkg.Info.Uses[id].(*types.Func); ok {
+				g.addrTaken[fn] = true
+			}
+			return true
+		})
+	}
+
+	// Pass 3: edges.
+	for _, n := range g.Nodes {
+		caller := n
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			g.addEdges(caller, call)
+			return true
+		})
+	}
+	return g
+}
+
+// external returns (creating on demand) the leaf node for a function
+// declared outside the unit.
+func (g *Graph) external(fn *types.Func) *Node {
+	if n, ok := g.byFn[fn]; ok {
+		return n
+	}
+	n := &Node{Fn: fn}
+	g.byFn[fn] = n
+	return n
+}
+
+// addEdges resolves one call expression and appends the resulting edges.
+func (g *Graph) addEdges(caller *Node, call *ast.CallExpr) {
+	info := caller.Pkg.Info
+	add := func(fn *types.Func, kind EdgeKind) {
+		callee, ok := g.byFn[fn]
+		if !ok {
+			callee = g.external(fn)
+		}
+		e := &Edge{Caller: caller, Callee: callee, Call: call, Kind: kind}
+		caller.Out = append(caller.Out, e)
+		g.byCall[call] = append(g.byCall[call], e)
+	}
+
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Func:
+			add(obj, EdgeStatic)
+			return
+		case *types.Builtin, *types.TypeName:
+			return
+		case nil:
+			return
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+				types.IsInterface(sig.Recv().Type()) {
+				g.addDynamic(caller, call, fn, add)
+				return
+			}
+			add(fn, EdgeStatic)
+			return
+		}
+		// Qualified reference (pkg.Func) or struct field of function type.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			add(fn, EdgeStatic)
+			return
+		}
+	}
+	// A conversion is not a call.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	g.addValueCall(caller, call, add)
+}
+
+// addDynamic adds conservative edges from an interface method call to every
+// unit method of the same name whose receiver type implements the
+// interface.
+func (g *Graph) addDynamic(caller *Node, call *ast.CallExpr, fn *types.Func, add func(*types.Func, EdgeKind)) {
+	fnSig, ok := fn.Type().(*types.Signature)
+	if !ok || fnSig.Recv() == nil {
+		return
+	}
+	iface, ok := fnSig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return
+	}
+	for _, cand := range g.Nodes {
+		sig, ok := cand.Fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		if sig.Recv() == nil || cand.Fn.Name() != fn.Name() {
+			continue
+		}
+		recv := sig.Recv().Type()
+		if types.Implements(recv, iface) || types.Implements(types.NewPointer(recv), iface) {
+			add(cand.Fn, EdgeDynamic)
+		}
+	}
+}
+
+// addValueCall adds conservative edges from a call through a function value
+// to every address-taken unit function with an identical signature.
+func (g *Graph) addValueCall(caller *Node, call *ast.CallExpr, add func(*types.Func, EdgeKind)) {
+	tv, ok := caller.Pkg.Info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	for _, cand := range g.Nodes {
+		if !g.addrTaken[cand.Fn] {
+			continue
+		}
+		if types.Identical(sig, cand.Fn.Type().Underlying()) {
+			add(cand.Fn, EdgeValue)
+		}
+	}
+}
+
+// Reach runs a breadth-first walk from roots, following edges for which
+// follow returns true (a nil follow follows everything), and returns the
+// incoming edge that first reached each node. Roots map to a nil edge.
+// Deterministic: roots are visited in the given order, out-edges in source
+// order.
+func (g *Graph) Reach(roots []*Node, follow func(*Edge) bool) map[*Node]*Edge {
+	reach := make(map[*Node]*Edge)
+	var queue []*Node
+	for _, r := range roots {
+		if r == nil {
+			continue
+		}
+		if _, ok := reach[r]; !ok {
+			reach[r] = nil
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.Out {
+			if follow != nil && !follow(e) {
+				continue
+			}
+			if _, ok := reach[e.Callee]; ok {
+				continue
+			}
+			reach[e.Callee] = e
+			queue = append(queue, e.Callee)
+		}
+	}
+	return reach
+}
+
+// PathTo reconstructs the witness call path from the root that first
+// reached n, as recorded by Reach: the root function first, then one step
+// per call site down to n itself.
+func (g *Graph) PathTo(reach map[*Node]*Edge, n *Node) []PathStep {
+	var rev []PathStep
+	for cur := n; ; {
+		e, ok := reach[cur]
+		if !ok {
+			return nil
+		}
+		if e == nil {
+			rev = append(rev, PathStep{Pos: g.Fset.Position(cur.Decl.Pos()), Func: cur.Name()})
+			break
+		}
+		rev = append(rev, PathStep{Pos: g.Fset.Position(e.Call.Pos()), Func: cur.Name()})
+		cur = e.Caller
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// docMarker reports whether the declaration's doc comment carries the given
+// //marker directive line (exactly, or followed by a space and trailing
+// text).
+func docMarker(fd *ast.FuncDecl, marker string) bool {
+	if fd == nil || fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == marker || len(c.Text) > len(marker) && c.Text[:len(marker)+1] == marker+" " {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"path"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one testdata/src package against the real module.
+func loadFixture(t *testing.T, name string) (*Module, *Package) {
+	t.Helper()
+	mod, err := Load("../..")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	pkg, err := mod.LoadDir(filepath.Join("testdata", "src", name), path.Join(mod.Path, "fixture", name))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", name, err)
+	}
+	return mod, pkg
+}
+
+// nodeNamed returns the unique graph node whose full name ends in suffix.
+func nodeNamed(t *testing.T, g *Graph, suffix string) *Node {
+	t.Helper()
+	var found *Node
+	for _, n := range g.Nodes {
+		if strings.HasSuffix(n.Name(), suffix) {
+			if found != nil {
+				t.Fatalf("nodeNamed(%s): ambiguous (%s and %s)", suffix, found.Name(), n.Name())
+			}
+			found = n
+		}
+	}
+	if found == nil {
+		t.Fatalf("nodeNamed(%s): no such node", suffix)
+	}
+	return found
+}
+
+// edgesTo returns the kinds of from's edges into to.
+func edgesTo(from, to *Node) []EdgeKind {
+	var kinds []EdgeKind
+	for _, e := range from.Out {
+		if e.Callee == to {
+			kinds = append(kinds, e.Kind)
+		}
+	}
+	return kinds
+}
+
+func TestCallGraph(t *testing.T) {
+	mod, pkg := loadFixture(t, "callgraph")
+	g := BuildGraph(mod.Fset, []*Package{pkg})
+
+	run := nodeNamed(t, g, ".Run")
+	helper := nodeNamed(t, g, ".helper")
+	doubleApply := nodeNamed(t, g, "double).Apply")
+	negateApply := nodeNamed(t, g, "negate).Apply")
+	apply := nodeNamed(t, g, "callgraph.Apply")
+	add := nodeNamed(t, g, ".add")
+	sub := nodeNamed(t, g, ".sub")
+	lit := nodeNamed(t, g, ".lit")
+
+	// Static call Run → helper.
+	if kinds := edgesTo(run, helper); len(kinds) != 1 || kinds[0] != EdgeStatic {
+		t.Errorf("Run → helper: got %v, want one EdgeStatic", kinds)
+	}
+	// Dynamic dispatch Run → both Apply implementations.
+	for _, impl := range []*Node{doubleApply, negateApply} {
+		if kinds := edgesTo(run, impl); len(kinds) != 1 || kinds[0] != EdgeDynamic {
+			t.Errorf("Run → %s: got %v, want one EdgeDynamic", impl.Name(), kinds)
+		}
+	}
+	// Recursion helper → helper.
+	if kinds := edgesTo(helper, helper); len(kinds) != 1 || kinds[0] != EdgeStatic {
+		t.Errorf("helper → helper: got %v, want one EdgeStatic", kinds)
+	}
+	// Function-value call Apply → add and sub (both address-taken in pick).
+	for _, target := range []*Node{add, sub} {
+		if kinds := edgesTo(apply, target); len(kinds) != 1 || kinds[0] != EdgeValue {
+			t.Errorf("Apply → %s: got %v, want one EdgeValue", target.Name(), kinds)
+		}
+	}
+	// The closure body inside lit is attributed to lit itself.
+	if kinds := edgesTo(lit, helper); len(kinds) != 1 || kinds[0] != EdgeStatic {
+		t.Errorf("lit → helper (via closure): got %v, want one EdgeStatic", kinds)
+	}
+}
+
+func TestReachAndPath(t *testing.T) {
+	mod, pkg := loadFixture(t, "callgraph")
+	g := BuildGraph(mod.Fset, []*Package{pkg})
+
+	run := nodeNamed(t, g, ".Run")
+	helper := nodeNamed(t, g, ".helper")
+	apply := nodeNamed(t, g, "callgraph.Apply")
+	add := nodeNamed(t, g, ".add")
+
+	reach := g.Reach([]*Node{run}, func(e *Edge) bool { return e.Callee.Decl != nil })
+	if _, ok := reach[helper]; !ok {
+		t.Fatalf("helper not reached from Run")
+	}
+	if _, ok := reach[add]; ok {
+		t.Errorf("add reached from Run; it is only reachable from Apply")
+	}
+	if e := reach[run]; e != nil {
+		t.Errorf("root Run has incoming edge %v, want nil", e)
+	}
+
+	path := g.PathTo(reach, helper)
+	if len(path) != 2 {
+		t.Fatalf("PathTo(helper): got %d steps (%v), want 2", len(path), path)
+	}
+	if !strings.HasSuffix(path[0].Func, ".Run") || !strings.HasSuffix(path[1].Func, ".helper") {
+		t.Errorf("PathTo(helper): got %v, want Run → helper", path)
+	}
+
+	// Skipping dynamic edges keeps the Apply implementations unreached.
+	noDyn := g.Reach([]*Node{run}, func(e *Edge) bool {
+		return e.Kind != EdgeDynamic && e.Callee.Decl != nil
+	})
+	if _, ok := noDyn[nodeNamed(t, g, "double).Apply")]; ok {
+		t.Errorf("double.Apply reached although dynamic edges were skipped")
+	}
+
+	// Unreached nodes yield no path.
+	if p := g.PathTo(reach, apply); p != nil {
+		t.Errorf("PathTo(Apply) from Run: got %v, want nil", p)
+	}
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow closes the gap the fault PR's context plumbing left unenforced:
+// a coefficient-path function that can loop without a static bound must be
+// cancellable, or a stuck piece search holds the whole worker pool hostage
+// past any -timeout. The coefficient path here is the *call-graph* closure
+// of the generation entry points (every exported function of internal/gen
+// and internal/remez, plus //ctxflow:root-marked functions), so a helper
+// three packages away is still covered, and `rlibm-lint -why` prints the
+// root-to-function call path that put it on the hook.
+//
+// An "unbounded loop" is a `for` with no condition or a `range` over a
+// channel — the shapes whose iteration count no static bound constrains
+// (the piece/term escalation loops of the solver are exactly `for {`).
+// Such a loop must observe cancellation: the enclosing function must have
+// a context.Context in scope (parameter, local, or closure parameter) and
+// the loop body must mention a context.Context value — checking ctx.Err(),
+// selecting on ctx.Done(), or passing ctx to a callee all count. A loop
+// with a proven termination bound (e.g. simplex under Bland's anti-cycling
+// rule) may carry a //lint:ignore ctxflow with that proof as the reason.
+var CtxFlow = &Analyzer{
+	Name:            "ctxflow",
+	Doc:             "unbounded loop in a coefficient-path function that does not accept and observe a context.Context",
+	Run:             runCtxFlow,
+	Interprocedural: true,
+}
+
+func runCtxFlow(p *Pass) []Diagnostic {
+	in := p.Interp
+	if in == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, n := range in.Graph.Nodes {
+		if n.Pkg != p.Pkg {
+			continue
+		}
+		if _, ok := in.coeffReach[n]; !ok {
+			continue
+		}
+		diags = append(diags, p.checkCtxFlow(in, n)...)
+	}
+	return diags
+}
+
+// checkCtxFlow scans one coefficient-path function for unbounded loops.
+func (p *Pass) checkCtxFlow(in *Interp, n *Node) []Diagnostic {
+	var diags []Diagnostic
+	hasCtx := p.hasContextInScope(n.Decl)
+	var path []PathStep
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		var body *ast.BlockStmt
+		var what string
+		switch l := node.(type) {
+		case *ast.ForStmt:
+			if l.Cond != nil {
+				return true
+			}
+			body, what = l.Body, "unbounded for loop"
+		case *ast.RangeStmt:
+			t := p.Info.TypeOf(l.X)
+			if t == nil {
+				return true
+			}
+			if _, isChan := t.Underlying().(*types.Chan); !isChan {
+				return true
+			}
+			body, what = l.Body, "range over channel"
+		default:
+			return true
+		}
+		if path == nil {
+			path = in.Graph.PathTo(in.coeffReach, n)
+		}
+		name := n.Fn.Name()
+		switch {
+		case !hasCtx:
+			d := p.report("ctxflow", node,
+				"%s in coefficient-path function %s, which accepts no context.Context: unbounded work must be cancellable (-why prints the call path from the generation root)", what, name)
+			d.Path = path
+			diags = append(diags, d)
+		case !p.observesContext(body):
+			d := p.report("ctxflow", node,
+				"%s in coefficient-path function %s does not observe the function's context.Context: check ctx.Err() or pass ctx to a callee each iteration (-why prints the call path)", what, name)
+			d.Path = path
+			diags = append(diags, d)
+		}
+		return true
+	})
+	return diags
+}
+
+// hasContextInScope reports whether any context.Context value is declared
+// anywhere in the function: a parameter, a local, or a closure parameter.
+func (p *Pass) hasContextInScope(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if obj := p.Info.Defs[id]; obj != nil && isContextType(obj.Type()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// observesContext reports whether the loop body mentions a context.Context
+// value.
+func (p *Pass) observesContext(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok || found {
+			return !found
+		}
+		if obj := p.Info.Uses[id]; obj != nil && isContextType(obj.Type()) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

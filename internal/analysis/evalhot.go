@@ -31,10 +31,22 @@ import (
 // The analyzer also requires the internal/eval package itself to contain at
 // least one marked function, so the restrictions cannot be silently opted
 // out of by deleting markers.
+//
+// Interprocedural escalation: every function transitively callable from a
+// marked function — over static calls and conservative function-value
+// edges, across packages — must satisfy the same restrictions, so a helper
+// extracted out of EvalBatch cannot silently reintroduce an allocation.
+// Dynamic interface edges are not followed (the dynamic call is itself a
+// violation at its call site). A function marked //evalhot:cold in its doc
+// comment is the audited slow-path escape: the walk stops there, for code
+// the hot loop reaches only on inputs the reduction already rejected (the
+// special-value path). `rlibm-lint -why` prints the marker-to-violation
+// call path for escalated findings.
 var EvalHot = &Analyzer{
-	Name: "evalhot",
-	Doc:  "forbidden construct in a marked batch-evaluation hot loop",
-	Run:  runEvalHot,
+	Name:            "evalhot",
+	Doc:             "forbidden construct in a marked batch-evaluation hot loop or a function it transitively calls",
+	Run:             runEvalHot,
+	Interprocedural: true,
 }
 
 // evalHotMarked reports whether the function's doc comment carries the
@@ -69,6 +81,41 @@ func runEvalHot(p *Pass) []Diagnostic {
 	if marked == 0 && p.Pkg.ImportPath == p.Module.Path+"/internal/eval" && len(p.Pkg.Files) > 0 {
 		diags = append(diags, p.report("evalhot", p.Pkg.Files[0].Name,
 			"package %s has no //evalhot:loop functions: the batch kernel's hot loop must be marked so its restrictions stay enforced", p.Pkg.ImportPath))
+	}
+	diags = append(diags, p.runEvalHotInter()...)
+	return diags
+}
+
+// runEvalHotInter escalates the hot-loop restrictions to every unmarked
+// function declared in this package that is transitively callable from a
+// //evalhot:loop marker anywhere in the unit.
+func (p *Pass) runEvalHotInter() []Diagnostic {
+	in := p.Interp
+	if in == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, n := range in.Graph.Nodes {
+		if n.Pkg != p.Pkg || evalHotMarked(n.Decl) || docMarker(n.Decl, "//evalhot:cold") {
+			continue
+		}
+		if e, ok := in.hotReach[n]; !ok || e == nil {
+			continue
+		}
+		ds := p.checkEvalHot(n.Decl)
+		if len(ds) == 0 {
+			continue
+		}
+		path := in.Graph.PathTo(in.hotReach, n)
+		root := ""
+		if len(path) > 0 {
+			root = path[0].Func
+		}
+		for _, d := range ds {
+			d.Message += " (transitively called from //evalhot:loop root " + root + ")"
+			d.Path = path
+			diags = append(diags, d)
+		}
 	}
 	return diags
 }

@@ -25,22 +25,32 @@ func TestGolden(t *testing.T) {
 		name      string
 		analyzers []*Analyzer
 		coeffPath bool // analyze the fixture as coefficient-path code
+		witness   bool // render the -why witness path under each finding
 	}{
-		{"mapiter", []*Analyzer{MapIter}, false},
-		{"seedrand", []*Analyzer{SeedRand}, false},
-		{"wallclock", []*Analyzer{WallClock}, true},
-		{"floateq", []*Analyzer{FloatEq}, false},
-		{"bigprec", []*Analyzer{BigPrec}, false},
-		{"poolcapture", []*Analyzer{PoolCapture}, false},
-		{"cachekey", []*Analyzer{CacheKey}, false},
-		{"barepanic", []*Analyzer{BarePanic}, true},
-		{"obsleak", []*Analyzer{ObsLeak}, true},
-		{"evalhot", []*Analyzer{EvalHot}, false},
+		{"mapiter", []*Analyzer{MapIter}, false, false},
+		{"seedrand", []*Analyzer{SeedRand}, false, false},
+		{"wallclock", []*Analyzer{WallClock}, true, false},
+		{"floateq", []*Analyzer{FloatEq}, false, false},
+		{"bigprec", []*Analyzer{BigPrec}, false, false},
+		{"poolcapture", []*Analyzer{PoolCapture}, false, false},
+		{"cachekey", []*Analyzer{CacheKey}, false, false},
+		{"barepanic", []*Analyzer{BarePanic}, true, false},
+		{"obsleak", []*Analyzer{ObsLeak}, true, false},
+		{"evalhot", []*Analyzer{EvalHot}, false, false},
+		// The interprocedural fixtures render witness paths into the golden
+		// so the exact source-to-sink and root-to-violation chains are
+		// pinned, not just the findings.
+		{"nondetflow", []*Analyzer{NondetFlow}, false, true},
+		{"ctxflow", []*Analyzer{CtxFlow}, false, true},
+		{"evalhotinter", []*Analyzer{EvalHot}, false, true},
 		// The suppression fixtures run the full registry: suppressed holds
 		// one justified ignore per analyzer (golden is empty), badignore
-		// proves malformed directives are reported and suppress nothing.
-		{"suppressed", All(), true},
-		{"badignore", All(), false},
+		// proves malformed directives are reported and suppress nothing,
+		// stale proves a directive whose analyzer ran but matched nothing is
+		// itself reported.
+		{"suppressed", All(), true, false},
+		{"badignore", All(), false, false},
+		{"stale", All(), false, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -53,6 +63,11 @@ func TestGolden(t *testing.T) {
 			var b strings.Builder
 			for _, d := range RunPackage(mod, pkg, tc.analyzers) {
 				fmt.Fprintln(&b, d)
+				if tc.witness {
+					for _, line := range d.Witness() {
+						fmt.Fprintln(&b, "\t"+line)
+					}
+				}
 			}
 			got := b.String()
 			golden := filepath.Join(dir, "expect.txt")

@@ -1,0 +1,79 @@
+package analysis
+
+// Interp is the interprocedural state of one analysis unit: the call
+// graph, the reachability closures the flow-sensitive analyzers consume,
+// and the taint findings. A unit is the whole module for rlibm-lint runs;
+// a fixture package loaded with LoadDir forms its own single-package unit,
+// so goldens stay self-contained.
+type Interp struct {
+	Graph *Graph
+
+	// coeffReach maps every function reachable from the coefficient-path
+	// roots (the exported functions of internal/gen and internal/remez,
+	// plus //ctxflow:root-marked functions) to the edge that first reached
+	// it; roots map to nil.
+	coeffReach map[*Node]*Edge
+
+	// hotReach is the same closure from //evalhot:loop-marked functions,
+	// not following dynamic interface edges (the dynamic call itself is
+	// already a violation at its call site) and stopping at
+	// //evalhot:cold-marked functions (the documented slow-path escape:
+	// the batch loop only reaches them for inputs the reduction rejected).
+	hotReach map[*Node]*Edge
+
+	// taint is the nondetflow engine's output.
+	taint []taintFinding
+}
+
+// newInterp builds the interprocedural state over one unit.
+func newInterp(m *Module, pkgs []*Package) *Interp {
+	g := BuildGraph(m.Fset, pkgs)
+	in := &Interp{Graph: g}
+	var coeff, hot []*Node
+	for _, n := range g.Nodes {
+		if isCoeffRoot(m, n) {
+			coeff = append(coeff, n)
+		}
+		if evalHotMarked(n.Decl) {
+			hot = append(hot, n)
+		}
+	}
+	in.coeffReach = g.Reach(coeff, func(e *Edge) bool { return e.Callee.Decl != nil })
+	in.hotReach = g.Reach(hot, func(e *Edge) bool {
+		return e.Kind != EdgeDynamic && e.Callee.Decl != nil &&
+			!docMarker(e.Callee.Decl, "//evalhot:cold")
+	})
+	in.taint = runTaint(m, g)
+	return in
+}
+
+// isCoeffRoot reports whether n is an entry point of the coefficient
+// generation path.
+func isCoeffRoot(m *Module, n *Node) bool {
+	if docMarker(n.Decl, "//ctxflow:root") {
+		return true
+	}
+	if !n.Fn.Exported() || n.Pkg == nil {
+		return false
+	}
+	ip := n.Pkg.ImportPath
+	return ip == m.Path+"/internal/gen" || ip == m.Path+"/internal/remez"
+}
+
+// interpFor returns the interprocedural state covering pkg: the cached
+// whole-module unit when pkg is a module package, a fresh single-package
+// unit for out-of-tree fixtures. Returns nil when the module cannot be
+// fully loaded (the load error surfaces through Packages elsewhere).
+func (m *Module) interpFor(pkg *Package) *Interp {
+	if m.pkgs[pkg.ImportPath] == pkg {
+		if m.interp == nil {
+			pkgs, err := m.Packages()
+			if err != nil {
+				return nil
+			}
+			m.interp = newInterp(m, pkgs)
+		}
+		return m.interp
+	}
+	return newInterp(m, []*Package{pkg})
+}

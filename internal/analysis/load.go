@@ -30,6 +30,7 @@ type Module struct {
 	pkgs    map[string]*Package
 	loading map[string]bool // cycle guard
 	std     types.Importer
+	interp  *Interp // cached whole-module interprocedural state
 }
 
 // Package is one type-checked package plus everything the analyzers need.

@@ -1,0 +1,54 @@
+package analysis
+
+import "fmt"
+
+// NondetFlow is the interprocedural strengthening of the per-file
+// wallclock/seedrand/mapiter heuristics: a forward taint analysis proving
+// that no value derived from a wall-clock read, from unseeded randomness,
+// or from map-iteration order ever reaches a persisted artifact — the
+// pipeline's sealed-frame codec, a cache-key fingerprint, or coefficient
+// emission. Those per-file analyzers police *presence* in sensitive
+// packages; nondetflow polices *flow* across the whole module, so a clock
+// read in a command that merely logs stays legal while the same read
+// threaded through three helpers into pipeline.Enc.U64 goes red.
+//
+// Sources: time.Now/Since/Until results; math/rand (v1 and v2)
+// package-level draws and constructors whose seed material fails the
+// seedrand derivation heuristic; the key and value variables of a range
+// over a map. Objects passed to a sort or slices function count as
+// order-sanitized for their whole function (the same justification the
+// mapiter ignores use), so collect-then-sort loops stay clean.
+//
+// Sinks: pipeline.Enc methods and pipeline.Seal, any function or method
+// named Fingerprint, gen.EmitGo, and unit functions marked
+// //nondetflow:sink. context.Context values are taint-opaque: spans and
+// deadlines ride the context by design, and tracking them would mark every
+// stage result tainted. Diagnostics anchor at the source; `rlibm-lint -why`
+// prints the source-to-sink call path. See DESIGN.md §11 for the lattice
+// and the soundness caveats.
+var NondetFlow = &Analyzer{
+	Name:            "nondetflow",
+	Doc:             "wall-clock, unseeded-randomness or map-order value flows into an artifact codec, fingerprint or coefficient emission",
+	Run:             runNondetFlow,
+	Interprocedural: true,
+}
+
+func runNondetFlow(p *Pass) []Diagnostic {
+	if p.Interp == nil {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Interp.taint {
+		if f.node.Pkg != p.Pkg {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      f.src.pos,
+			Analyzer: "nondetflow",
+			Message: fmt.Sprintf("%s from %s reaches %s; nondeterminism must not influence persisted artifacts (-why prints the flow path)",
+				f.src.kind, f.src.desc, f.sink),
+			Path: f.path,
+		})
+	}
+	return diags
+}

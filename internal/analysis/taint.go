@@ -1,0 +1,798 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file implements the forward taint engine behind nondetflow. The
+// lattice is small: a value is either clean or tainted by one or more
+// sources, where a source is a concrete program point producing a
+// nondeterministic value — a wall-clock read, a draw from unseeded
+// randomness, or a map iteration (whose order Go randomizes per run).
+//
+// The engine is summary-based and interprocedural. For every unit function
+// it computes, to a fixpoint across the unit:
+//
+//   - paramSink[i]:   parameter i flows (transitively) into a sink;
+//   - paramResult[i]: parameter i flows into a result value;
+//   - srcResult:      sources inside the function (or its callees) flow
+//     into a result value.
+//
+// Methods prepend their receiver as parameter 0. Within one function,
+// propagation is object-granular and flow-insensitive: assignments taint
+// the destination's root object, and the body is re-walked until the
+// tainted set stops growing. Flow-insensitivity trades precision for
+// robustness (no CFG needed) and is conservative in the reporting
+// direction, with one documented exception: an object that is ever passed
+// to a sort function is treated as sorted everywhere in that function, so
+// map-order taint on it is dropped. That mirrors the justification the
+// per-file mapiter ignores already use ("sorted before any use") and keeps
+// collect-then-sort loops clean without per-site annotations.
+//
+// Sinks are where nondeterminism would become a persisted artifact:
+// the pipeline's sealed-frame codec (pipeline.Enc methods, pipeline.Seal),
+// cache-key fingerprints (any method or function named Fingerprint),
+// coefficient emission (gen.EmitGo), and any unit function whose doc
+// comment carries a //nondetflow:sink marker (fixtures; future artifact
+// writers).
+//
+// One precision choice is load-bearing: context.Context values are
+// taint-opaque. Observability spans and deadlines ride the context through
+// every pipeline stage by design, so tracking taint through ctx would mark
+// every stage result wall-clock-tainted and drown the one real smuggled
+// timestamp in wrapper noise. The cost is explicit: a value laundered
+// through context.WithValue is invisible to this analyzer and is left to
+// review (and to the per-file wallclock analyzer, which still flags the
+// clock read itself on the coefficient path).
+
+// taintKind classifies a nondeterminism source.
+type taintKind uint8
+
+const (
+	taintClock taintKind = iota
+	taintRand
+	taintMapOrder
+)
+
+func (k taintKind) String() string {
+	switch k {
+	case taintClock:
+		return "wall-clock value"
+	case taintRand:
+		return "unseeded-randomness value"
+	default:
+		return "map-iteration-ordered value"
+	}
+}
+
+// source is one program point introducing taint. Identity matters: the
+// engine caches sources per position so fixpoint rounds converge.
+type source struct {
+	kind taintKind
+	pos  token.Position
+	desc string // e.g. "time.Now", "range over map"
+	fn   *Node  // function containing the source
+}
+
+// PathStep is one step of an interprocedural witness path.
+type PathStep struct {
+	Pos  token.Position
+	Func string
+}
+
+// flowTok is one unit of taint on an object: the originating source plus
+// the cross-function steps accumulated since it left the source's
+// function. Within the source's own function via is empty.
+type flowTok struct {
+	src *source
+	via []PathStep
+}
+
+// sinkChain is a function summary's witness fragment: the call steps from
+// a tainted parameter down to the sink it reaches.
+type sinkChain struct {
+	sink  string // sink description, e.g. "artifact codec (repro/internal/pipeline.Enc).U64"
+	steps []PathStep
+}
+
+// summary is the interprocedural behavior of one unit function.
+type summary struct {
+	node        *Node
+	params      []types.Object // receiver (if any) then parameters
+	paramSink   []*sinkChain   // per param; nil = no flow to a sink
+	paramResult []bool
+	srcResult   []flowTok // sources flowing into a result value
+}
+
+// taintFinding is one source-reaches-sink violation.
+type taintFinding struct {
+	src  *source
+	sink string
+	path []PathStep
+	node *Node // function containing the source (reporting anchor)
+}
+
+// taintEngine runs the analysis over one unit.
+type taintEngine struct {
+	m        *Module
+	g        *Graph
+	sums     map[*Node]*summary
+	sources  map[token.Pos]*source
+	findings []taintFinding
+	emit     bool // final round: record findings
+}
+
+// runTaint analyzes the unit to a fixpoint and returns the findings in
+// deterministic order.
+func runTaint(m *Module, g *Graph) []taintFinding {
+	e := &taintEngine{
+		m:       m,
+		g:       g,
+		sums:    make(map[*Node]*summary),
+		sources: make(map[token.Pos]*source),
+	}
+	for _, n := range g.Nodes {
+		e.sums[n] = newSummary(n)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes {
+			if e.analyze(n) {
+				changed = true
+			}
+		}
+	}
+	e.emit = true
+	for _, n := range g.Nodes {
+		e.analyze(n)
+	}
+	return e.findings
+}
+
+// newSummary builds the empty summary, resolving the parameter objects.
+func newSummary(n *Node) *summary {
+	s := &summary{node: n}
+	sig, ok := n.Fn.Type().(*types.Signature)
+	if !ok {
+		return s
+	}
+	if r := sig.Recv(); r != nil {
+		s.params = append(s.params, r)
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		s.params = append(s.params, sig.Params().At(i))
+	}
+	s.paramSink = make([]*sinkChain, len(s.params))
+	s.paramResult = make([]bool, len(s.params))
+	return s
+}
+
+// taintState is the per-function propagation state of one analyze pass.
+type taintState struct {
+	e          *taintEngine
+	n          *Node
+	sum        *summary
+	pkg        *Package
+	tainted    map[types.Object][]flowTok // object → source tokens (dedup by source)
+	paramTaint map[types.Object][]int     // object → summary param indices it carries
+	params     map[types.Object]int       // parameter object → its summary index
+	sanitized  map[types.Object]bool      // ever passed to a sort function
+	resultObjs []types.Object             // named result objects, declaration order
+	changed    bool
+}
+
+// analyze walks one function to its local fixpoint, updating the
+// function's summary; reports whether the summary changed.
+func (e *taintEngine) analyze(n *Node) bool {
+	st := &taintState{
+		e:          e,
+		n:          n,
+		sum:        e.sums[n],
+		pkg:        n.Pkg,
+		tainted:    make(map[types.Object][]flowTok),
+		paramTaint: make(map[types.Object][]int),
+		params:     make(map[types.Object]int),
+		sanitized:  make(map[types.Object]bool),
+	}
+	for i, p := range st.sum.params {
+		st.params[p] = i
+	}
+	if res := n.Decl.Type.Results; res != nil {
+		for _, f := range res.List {
+			for _, name := range f.Names {
+				if obj := st.pkg.Info.Defs[name]; obj != nil {
+					st.resultObjs = append(st.resultObjs, obj)
+				}
+			}
+		}
+	}
+	// Pre-pass: objects handed to sort functions are order-sanitized for
+	// the whole function (see the package comment for the caveat).
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := st.funcOf(call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id := rootIdent(arg); id != nil {
+				if obj := st.pkg.Info.Uses[id]; obj != nil {
+					st.sanitized[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	before := e.summarySig(st.sum)
+	for pass := 0; ; pass++ {
+		st.changed = false
+		st.walk(n.Decl.Body)
+		if !st.changed || pass > 32 {
+			break
+		}
+	}
+	// Named results tainted anywhere taint the summary's result slots.
+	for _, obj := range st.resultObjs {
+		for _, tok := range st.tainted[obj] {
+			st.recordResult(tok)
+		}
+		for _, i := range st.paramTaint[obj] {
+			if !st.sum.paramResult[i] {
+				st.sum.paramResult[i] = true
+				st.changed = true
+			}
+		}
+	}
+	return e.summarySig(st.sum) != before
+}
+
+// summarySig renders a summary to a comparable string for change
+// detection.
+func (e *taintEngine) summarySig(s *summary) string {
+	var b strings.Builder
+	for i, c := range s.paramSink {
+		if c != nil {
+			fmt.Fprintf(&b, "s%d:%s;", i, c.sink)
+		}
+	}
+	for i, r := range s.paramResult {
+		if r {
+			fmt.Fprintf(&b, "r%d;", i)
+		}
+	}
+	for _, tok := range s.srcResult {
+		fmt.Fprintf(&b, "o%s:%d;", tok.src.pos, len(tok.via))
+	}
+	return b.String()
+}
+
+// funcOf mirrors Pass.funcOf for the state's package.
+func (st *taintState) funcOf(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := st.pkg.Info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := st.pkg.Info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// taintable reports whether taint may attach to obj. context.Context
+// values are taint-opaque (see the package comment): spans and deadlines
+// ride the context everywhere, and tracking them would taint every derived
+// result in the module.
+func taintable(obj types.Object) bool {
+	return obj != nil && !isContextType(obj.Type())
+}
+
+// addTaint merges tok into obj's taint set (dedup by source identity).
+func (st *taintState) addTaint(obj types.Object, tok flowTok) {
+	if !taintable(obj) {
+		return
+	}
+	if tok.src.kind == taintMapOrder && st.sanitized[obj] {
+		return
+	}
+	for _, have := range st.tainted[obj] {
+		if have.src == tok.src {
+			return
+		}
+	}
+	st.tainted[obj] = append(st.tainted[obj], tok)
+	st.changed = true
+}
+
+// addParam marks obj as carrying parameter i's value.
+func (st *taintState) addParam(obj types.Object, i int) {
+	if !taintable(obj) {
+		return
+	}
+	for _, have := range st.paramTaint[obj] {
+		if have == i {
+			return
+		}
+	}
+	st.paramTaint[obj] = append(st.paramTaint[obj], i)
+	st.changed = true
+}
+
+// recordResult merges tok into the summary's source-to-result set.
+func (st *taintState) recordResult(tok flowTok) {
+	for _, have := range st.sum.srcResult {
+		if have.src == tok.src {
+			return
+		}
+	}
+	st.sum.srcResult = append(st.sum.srcResult, tok)
+	st.changed = true
+}
+
+// walk drives one propagation pass over the function body.
+func (st *taintState) walk(body ast.Node) {
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.AssignStmt:
+			st.assign(x)
+		case *ast.ValueSpec:
+			toks, params := st.exprListTaint(x.Values)
+			for _, name := range x.Names {
+				obj := st.pkg.Info.Defs[name]
+				for _, tok := range toks {
+					st.addTaint(obj, tok)
+				}
+				for _, i := range params {
+					st.addParam(obj, i)
+				}
+			}
+		case *ast.RangeStmt:
+			st.rangeStmt(x)
+		case *ast.ReturnStmt:
+			toks, params := st.exprListTaint(x.Results)
+			for _, tok := range toks {
+				st.recordResult(tok)
+			}
+			for _, i := range params {
+				if !st.sum.paramResult[i] {
+					st.sum.paramResult[i] = true
+					st.changed = true
+				}
+			}
+		case *ast.CallExpr:
+			st.callEffects(x)
+		}
+		return true
+	})
+}
+
+// assign propagates RHS taint into LHS root objects. Multi-value
+// assignments from a single call taint every destination (conservative).
+func (st *taintState) assign(as *ast.AssignStmt) {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		toks, params := st.exprTaint(as.Rhs[0])
+		for _, lhs := range as.Lhs {
+			st.taintLHS(lhs, toks, params)
+		}
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) {
+			break
+		}
+		toks, params := st.exprTaint(rhs)
+		// Compound assignment keeps existing taint and merges the RHS.
+		st.taintLHS(as.Lhs[i], toks, params)
+	}
+}
+
+// taintLHS taints the root object of an assignment destination.
+func (st *taintState) taintLHS(lhs ast.Expr, toks []flowTok, params []int) {
+	if len(toks) == 0 && len(params) == 0 {
+		return
+	}
+	id := rootIdent(lhs)
+	if id == nil {
+		return
+	}
+	obj := st.pkg.Info.Uses[id]
+	if obj == nil {
+		obj = st.pkg.Info.Defs[id]
+	}
+	for _, tok := range toks {
+		st.addTaint(obj, tok)
+	}
+	for _, i := range params {
+		st.addParam(obj, i)
+	}
+}
+
+// rangeStmt introduces map-order taint on the key and value variables of a
+// range over a map.
+func (st *taintState) rangeStmt(rs *ast.RangeStmt) {
+	t := st.pkg.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	src := st.e.sourceAt(rs.Pos(), taintMapOrder, "range over map", st.n)
+	for _, v := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := v.(*ast.Ident); ok && id.Name != "_" {
+			obj := st.pkg.Info.Defs[id]
+			if obj == nil {
+				obj = st.pkg.Info.Uses[id]
+			}
+			st.addTaint(obj, flowTok{src: src})
+		}
+	}
+}
+
+// sourceAt returns the cached source for a program point.
+func (e *taintEngine) sourceAt(pos token.Pos, kind taintKind, desc string, fn *Node) *source {
+	if s, ok := e.sources[pos]; ok {
+		return s
+	}
+	s := &source{kind: kind, pos: e.g.Fset.Position(pos), desc: desc, fn: fn}
+	e.sources[pos] = s
+	return s
+}
+
+// exprListTaint unions exprTaint over a list.
+func (st *taintState) exprListTaint(exprs []ast.Expr) ([]flowTok, []int) {
+	var toks []flowTok
+	var params []int
+	for _, e := range exprs {
+		t, p := st.exprTaint(e)
+		toks = append(toks, t...)
+		params = append(params, p...)
+	}
+	return toks, params
+}
+
+// exprTaint computes the taint of an expression: the source tokens it
+// carries and the summary parameter indices it mentions.
+func (st *taintState) exprTaint(expr ast.Expr) ([]flowTok, []int) {
+	if expr == nil {
+		return nil, nil
+	}
+	var toks []flowTok
+	var params []int
+	seenSrc := make(map[*source]bool)
+	seenParam := make(map[int]bool)
+	addTok := func(tok flowTok) {
+		if !seenSrc[tok.src] {
+			seenSrc[tok.src] = true
+			toks = append(toks, tok)
+		}
+	}
+	ast.Inspect(expr, func(node ast.Node) bool {
+		switch x := node.(type) {
+		case *ast.FuncLit:
+			return false // a closure value is not itself tainted
+		case *ast.Ident:
+			obj := st.pkg.Info.Uses[x]
+			if !taintable(obj) {
+				return true
+			}
+			for _, tok := range st.tainted[obj] {
+				addTok(tok)
+			}
+			if i, ok := st.params[obj]; ok && !seenParam[i] {
+				seenParam[i] = true
+				params = append(params, i)
+			}
+			for _, i := range st.paramTaint[obj] {
+				if !seenParam[i] {
+					seenParam[i] = true
+					params = append(params, i)
+				}
+			}
+		case *ast.CallExpr:
+			t, p := st.callTaint(x)
+			for _, tok := range t {
+				addTok(tok)
+			}
+			for _, i := range p {
+				if !seenParam[i] {
+					seenParam[i] = true
+					params = append(params, i)
+				}
+			}
+			return false // callTaint handled the arguments
+		}
+		return true
+	})
+	return toks, params
+}
+
+// callTaint computes the taint of a call's result value and, as a side
+// effect, checks sink reachability for its arguments (via callEffects'
+// shared implementation).
+func (st *taintState) callTaint(call *ast.CallExpr) ([]flowTok, []int) {
+	return st.callImpl(call, true)
+}
+
+// callEffects processes a call whose result is discarded (sink checks and
+// summary propagation still apply).
+func (st *taintState) callEffects(call *ast.CallExpr) {
+	st.callImpl(call, false)
+}
+
+// callImpl is the shared call handler. wantResult selects whether the
+// result taint is computed and returned.
+func (st *taintState) callImpl(call *ast.CallExpr, wantResult bool) ([]flowTok, []int) {
+	// Source calls produce fresh taint.
+	if src := st.sourceCall(call); src != nil {
+		return []flowTok{{src: src}}, nil
+	}
+
+	// Gather per-argument taint: receiver (for method calls) first, to
+	// line up with summary parameter indexing.
+	args := st.callArgs(call)
+	argToks := make([][]flowTok, len(args))
+	argParams := make([][]int, len(args))
+	for i, a := range args {
+		argToks[i], argParams[i] = st.exprTaint(a)
+	}
+
+	var resToks []flowTok
+	var resParams []int
+	edges := st.e.g.CalleesOf(call)
+	for _, e := range edges {
+		callee := e.Callee
+		// Sink check at the call boundary.
+		if sink := st.e.sinkDesc(callee); sink != "" {
+			for i := range args {
+				for _, tok := range argToks[i] {
+					st.foundSink(tok, sink, call, nil)
+				}
+				for _, pi := range argParams[i] {
+					st.paramToSink(pi, sink, call, callee, nil)
+				}
+			}
+			continue
+		}
+		sum, ok := st.e.sums[callee]
+		if !ok {
+			continue // external function; handled below
+		}
+		for i := range args {
+			if i >= len(sum.params) {
+				break
+			}
+			if chain := sum.paramSink[i]; chain != nil {
+				for _, tok := range argToks[i] {
+					st.foundSink(tok, chain.sink, call, chain.steps)
+				}
+				for _, pi := range argParams[i] {
+					st.paramToSink(pi, chain.sink, call, callee, chain.steps)
+				}
+			}
+			if sum.paramResult[i] && wantResult {
+				resToks = append(resToks, argToks[i]...)
+				resParams = append(resParams, argParams[i]...)
+			}
+		}
+		if wantResult {
+			for _, tok := range sum.srcResult {
+				step := PathStep{Pos: st.e.g.Fset.Position(call.Pos()), Func: st.n.Name()}
+				via := append(append([]PathStep(nil), tok.via...), step)
+				resToks = append(resToks, flowTok{src: tok.src, via: via})
+			}
+		}
+	}
+
+	// Calls outside the unit (standard library, mostly): the result is as
+	// tainted as the arguments. This keeps fmt.Sprintf(time.Now()) or
+	// t.UnixNano() tainted through the conversion.
+	if len(edges) == 0 || onlyExternal(edges) {
+		if wantResult {
+			for i := range args {
+				resToks = append(resToks, argToks[i]...)
+				resParams = append(resParams, argParams[i]...)
+			}
+		}
+	}
+	return dedupToks(resToks), dedupInts(resParams)
+}
+
+// onlyExternal reports whether every edge points outside the unit.
+func onlyExternal(edges []*Edge) bool {
+	for _, e := range edges {
+		if e.Callee.Decl != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func dedupToks(toks []flowTok) []flowTok {
+	if len(toks) < 2 {
+		return toks
+	}
+	seen := make(map[*source]bool, len(toks))
+	out := toks[:0]
+	for _, t := range toks {
+		if !seen[t.src] {
+			seen[t.src] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func dedupInts(xs []int) []int {
+	if len(xs) < 2 {
+		return xs
+	}
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// callArgs returns the call's taint-relevant argument expressions, with
+// the receiver prepended for method calls so indices line up with
+// summary.params.
+func (st *taintState) callArgs(call *ast.CallExpr) []ast.Expr {
+	var args []ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := st.pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			args = append(args, sel.X)
+		}
+	}
+	return append(args, call.Args...)
+}
+
+// foundSink records a source-to-sink violation (only on the emit round).
+func (st *taintState) foundSink(tok flowTok, sink string, call *ast.CallExpr, tail []PathStep) {
+	if !st.e.emit {
+		return
+	}
+	path := make([]PathStep, 0, len(tok.via)+len(tail)+2)
+	path = append(path, PathStep{Pos: tok.src.pos, Func: tok.src.fn.Name()})
+	path = append(path, tok.via...)
+	path = append(path, PathStep{Pos: st.e.g.Fset.Position(call.Pos()), Func: st.n.Name()})
+	path = append(path, tail...)
+	for _, have := range st.e.findings {
+		if have.src == tok.src && have.sink == sink {
+			return
+		}
+	}
+	st.e.findings = append(st.e.findings, taintFinding{src: tok.src, sink: sink, path: path, node: tok.src.fn})
+}
+
+// paramToSink records that the current function forwards parameter pi into
+// a sink, extending the witness chain with this call site.
+func (st *taintState) paramToSink(pi int, sink string, call *ast.CallExpr, callee *Node, tail []PathStep) {
+	if st.sum.paramSink[pi] != nil {
+		return // first chain wins; deterministic by walk order
+	}
+	steps := make([]PathStep, 0, len(tail)+1)
+	steps = append(steps, PathStep{Pos: st.e.g.Fset.Position(call.Pos()), Func: st.n.Name()})
+	steps = append(steps, tail...)
+	st.sum.paramSink[pi] = &sinkChain{sink: sink, steps: steps}
+	st.changed = true
+}
+
+// sourceCall recognizes the taint sources that are call expressions:
+// wall-clock reads and unseeded randomness.
+func (st *taintState) sourceCall(call *ast.CallExpr) *source {
+	fn := st.funcOf(call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return nil
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if clockFuncs[fn.Name()] {
+			return st.e.sourceAt(call.Pos(), taintClock, "time."+fn.Name(), st.n)
+		}
+	case "math/rand", "math/rand/v2":
+		if randCtors[fn.Name()] {
+			// A constructor is a source only when its seed material is
+			// neither constant nor visibly seed-derived (the seedrand
+			// heuristic), or reads the clock.
+			if st.unseededCtor(call) {
+				return st.e.sourceAt(call.Pos(), taintRand, fn.Pkg().Name()+"."+fn.Name(), st.n)
+			}
+			return nil
+		}
+		// Package-level draws share the process-global source.
+		return st.e.sourceAt(call.Pos(), taintRand, fn.Pkg().Name()+"."+fn.Name(), st.n)
+	}
+	return nil
+}
+
+// unseededCtor reports whether a rand constructor's seed material fails
+// the seedrand derivation heuristic.
+func (st *taintState) unseededCtor(call *ast.CallExpr) bool {
+	p := &Pass{Module: st.e.m, Fset: st.e.g.Fset, Pkg: st.pkg, Info: st.pkg.Info}
+	for _, arg := range call.Args {
+		if p.mentionsTimePkg(arg) {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		if tv, found := st.pkg.Info.Types[arg]; found && tv.Value != nil {
+			continue
+		}
+		if sub, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+			// rand.New(rand.NewSource(seed)): judge the inner ctor.
+			if inner := st.funcOf(sub); inner != nil && inner.Pkg() != nil &&
+				randCtors[inner.Name()] &&
+				(inner.Pkg().Path() == "math/rand" || inner.Pkg().Path() == "math/rand/v2") {
+				if !st.unseededCtor(sub) {
+					continue
+				}
+				return true
+			}
+		}
+		if p.mentionsSeedIdent(arg) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// sinkDesc classifies a callee as a nondeterminism sink, returning a short
+// human description or "".
+func (e *taintEngine) sinkDesc(n *Node) string {
+	fn := n.Fn
+	if docMarker(n.Decl, "//nondetflow:sink") {
+		return "marked sink " + fn.FullName()
+	}
+	if fn.Name() == "Fingerprint" {
+		return "cache-key fingerprint " + fn.FullName()
+	}
+	if fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case e.m.Path + "/internal/pipeline":
+		if fn.Name() == "Seal" {
+			return "artifact codec " + fn.FullName()
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if named, ok := derefNamed(sig.Recv().Type()); ok && named.Obj().Name() == "Enc" {
+				return "artifact codec " + fn.FullName()
+			}
+		}
+	case e.m.Path + "/internal/gen":
+		if fn.Name() == "EmitGo" {
+			return "coefficient emission " + fn.FullName()
+		}
+	}
+	return ""
+}
+
+// derefNamed unwraps a pointer type to its named base.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}

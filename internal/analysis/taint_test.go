@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTaintPropagation runs the nondetflow engine over its fixture package
+// and checks the two expected source-to-sink flows plus the sanitized
+// negative case.
+func TestTaintPropagation(t *testing.T) {
+	mod, pkg := loadFixture(t, "nondetflow")
+	g := BuildGraph(mod.Fset, []*Package{pkg})
+	findings := runTaint(mod, g)
+
+	var clock, mapOrder *taintFinding
+	for i := range findings {
+		f := &findings[i]
+		switch f.src.kind {
+		case taintClock:
+			clock = f
+		case taintMapOrder:
+			mapOrder = f
+		}
+	}
+	if len(findings) != 2 || clock == nil || mapOrder == nil {
+		t.Fatalf("got %d findings, want exactly one clock and one map-order flow: %+v", len(findings), findings)
+	}
+
+	// The clock flow starts at stamp's time.Now and descends through
+	// Record and relay into the marked sink.
+	if !strings.HasSuffix(clock.node.Name(), ".stamp") {
+		t.Errorf("clock finding anchored at %s, want stamp", clock.node.Name())
+	}
+	if !strings.Contains(clock.sink, "persist") {
+		t.Errorf("clock finding sink = %q, want the marked persist sink", clock.sink)
+	}
+	var funcs []string
+	for _, s := range clock.path {
+		funcs = append(funcs, s.Func[strings.LastIndex(s.Func, ".")+1:])
+	}
+	joined := strings.Join(funcs, " ")
+	for _, want := range []string{"stamp", "Record", "relay"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("clock witness path %v misses %s", funcs, want)
+		}
+	}
+
+	// The map-order flow comes from Leak; Collect's sorted copy must not
+	// report.
+	if !strings.HasSuffix(mapOrder.node.Name(), ".Leak") {
+		t.Errorf("map-order finding anchored at %s, want Leak", mapOrder.node.Name())
+	}
+}
+
+// TestTaintContextOpaque pins the documented precision choice: taint never
+// attaches to context.Context values, so values threaded through a context
+// cannot mark every downstream result.
+func TestTaintContextOpaque(t *testing.T) {
+	mod, pkg := loadFixture(t, "ctxtaint")
+	g := BuildGraph(mod.Fset, []*Package{pkg})
+	if findings := runTaint(mod, g); len(findings) != 0 {
+		t.Fatalf("got %d findings through a context value, want 0: %+v", len(findings), findings)
+	}
+}
+
+// TestSelect covers the -only/-skip resolution and its unified error text.
+func TestSelect(t *testing.T) {
+	all, err := Select("", "")
+	if err != nil {
+		t.Fatalf("Select(\"\", \"\"): %v", err)
+	}
+	if len(all) != len(All()) {
+		t.Fatalf("empty selection: got %d analyzers, want %d", len(all), len(All()))
+	}
+
+	only, err := Select("nondetflow,ctxflow", "")
+	if err != nil {
+		t.Fatalf("Select(only): %v", err)
+	}
+	if len(only) != 2 || only[0].Name != "nondetflow" || only[1].Name != "ctxflow" {
+		t.Errorf("Select(only nondetflow,ctxflow): got %v", names(only))
+	}
+
+	skip, err := Select("", "evalhot")
+	if err != nil {
+		t.Fatalf("Select(skip): %v", err)
+	}
+	for _, a := range skip {
+		if a.Name == "evalhot" {
+			t.Errorf("Select(skip evalhot) still contains evalhot")
+		}
+	}
+	if len(skip) != len(All())-1 {
+		t.Errorf("Select(skip evalhot): got %d analyzers, want %d", len(skip), len(All())-1)
+	}
+
+	both, err := Select("nondetflow,ctxflow", "ctxflow")
+	if err != nil {
+		t.Fatalf("Select(both): %v", err)
+	}
+	if len(both) != 1 || both[0].Name != "nondetflow" {
+		t.Errorf("Select(only minus skip): got %v", names(both))
+	}
+
+	if _, err := Select("nosuch", ""); err == nil ||
+		!strings.Contains(err.Error(), "invalid -only nosuch: must name a registered analyzer") {
+		t.Errorf("Select(unknown only): got %v, want the unified invalid-flag error", err)
+	}
+	if _, err := Select("", "nosuch"); err == nil ||
+		!strings.Contains(err.Error(), "invalid -skip nosuch") {
+		t.Errorf("Select(unknown skip): got %v, want the unified invalid-flag error", err)
+	}
+}
+
+func names(as []*Analyzer) []string {
+	var out []string
+	for _, a := range as {
+		out = append(out, a.Name)
+	}
+	return out
+}

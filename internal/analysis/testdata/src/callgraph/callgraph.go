@@ -1,0 +1,64 @@
+// Package callgraph is the synthetic module for the call-graph unit tests:
+// one of each edge kind — static function and method calls, dynamic
+// interface dispatch, conservative function-value edges — plus recursion.
+package callgraph
+
+type ops interface {
+	Apply(x int) int
+}
+
+type double struct{}
+
+func (double) Apply(x int) int { return x * 2 }
+
+type negate struct{}
+
+func (negate) Apply(x int) int { return -x }
+
+// Run makes a static call to helper and a dynamic call that may dispatch
+// to either Apply implementation.
+func Run(o ops, x int) int {
+	return o.Apply(helper(x))
+}
+
+// helper recurses on itself.
+func helper(x int) int {
+	if x > 100 {
+		return helper(x / 2)
+	}
+	return x + 1
+}
+
+// pick takes the address of add and sub, making them candidates for
+// function-value edges.
+func pick(neg bool) func(int) int {
+	if neg {
+		return sub
+	}
+	return add
+}
+
+func add(x int) int { return x + 1 }
+func sub(x int) int { return x - 1 }
+
+// Apply calls through a function value: conservatively an edge to every
+// address-taken function with the identical signature.
+func Apply(x int) int {
+	f := pick(x < 0)
+	return f(x)
+}
+
+// lit's closure body is attributed to lit itself.
+func lit(xs []int) int {
+	total := 0
+	each(xs, func(x int) {
+		total += helper(x)
+	})
+	return total
+}
+
+func each(xs []int, f func(int)) {
+	for _, x := range xs {
+		f(x)
+	}
+}

@@ -1,0 +1,47 @@
+// Package ctxflow exercises the cancellation analyzer: the marked root
+// makes every callee coefficient-path, and the three loop shapes cover
+// no-context, unobserved-context and observed-context.
+package ctxflow
+
+import "context"
+
+// Generate is the fixture's generation entry point.
+//
+//ctxflow:root
+func Generate(ctx context.Context, ch chan int) {
+	spin()
+	search(ctx)
+	drain(ctx, ch)
+}
+
+// spin loops with no context anywhere in scope.
+func spin() {
+	n := 0
+	for {
+		n++
+		if n > 1<<20 {
+			return
+		}
+	}
+}
+
+// search accepts a context but never consults it in the loop.
+func search(ctx context.Context) {
+	_ = ctx
+	for {
+		if work() {
+			return
+		}
+	}
+}
+
+// drain observes ctx every iteration: clean.
+func drain(ctx context.Context, ch chan int) {
+	for range ch {
+		if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+func work() bool { return true }

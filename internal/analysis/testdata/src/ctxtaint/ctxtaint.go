@@ -1,0 +1,44 @@
+// Package ctxtaint pins the taint engine's context opacity: the span's
+// wall-clock start rides the context into a stage whose result reaches the
+// sink, which is exactly the observability shape that must stay clean.
+// Removing the taintable gate makes this package report.
+package ctxtaint
+
+import (
+	"context"
+	"time"
+)
+
+type span struct{ start time.Time }
+
+type key struct{}
+
+// seal is the fixture's artifact boundary.
+//
+//nondetflow:sink
+func seal(words []uint64) {
+	_ = words
+}
+
+// newSpan captures the wall clock.
+func newSpan() *span {
+	return &span{start: time.Now()}
+}
+
+// withSpan threads the span through the context, the way every pipeline
+// stage receives its tracing state.
+func withSpan(ctx context.Context, s *span) context.Context {
+	return context.WithValue(ctx, key{}, s)
+}
+
+// stage runs the callback under ctx; its result is the stage artifact.
+func stage(ctx context.Context, fn func(context.Context) []uint64) []uint64 {
+	return fn(ctx)
+}
+
+// Run seals a stage result computed under a span-carrying context.
+func Run(coeffs []uint64) {
+	ctx := withSpan(context.Background(), newSpan())
+	res := stage(ctx, func(context.Context) []uint64 { return coeffs })
+	seal(res)
+}

@@ -1,0 +1,45 @@
+// Package evalhotinter exercises the interprocedural evalhot escalation:
+// an allocation two calls below the marked loop is flagged with the
+// marker-to-violation path, while the //evalhot:cold boundary stops the
+// walk before the slow path's allocations.
+package evalhotinter
+
+// kernel is the marked hot loop.
+//
+//evalhot:loop
+func kernel(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += step(x)
+	}
+	return s
+}
+
+// step is clean itself but calls an allocating helper, and escapes to the
+// audited slow path for negative inputs.
+func step(x float64) float64 {
+	if x < 0 {
+		return slow(x)
+	}
+	return scale(x) + 1
+}
+
+// scale allocates: the escalation must flag it.
+func scale(x float64) float64 {
+	buf := make([]float64, 1)
+	buf[0] = x * 2
+	return buf[0]
+}
+
+// slow is the audited slow-path boundary: the walk stops here, so neither
+// its allocation nor table's is reported.
+//
+//evalhot:cold
+func slow(x float64) float64 {
+	return table(x)[0]
+}
+
+// table allocates freely; it is only reachable through the cold boundary.
+func table(x float64) []float64 {
+	return []float64{x, -x}
+}

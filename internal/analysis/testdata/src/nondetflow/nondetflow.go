@@ -1,0 +1,53 @@
+// Package nondetflow exercises the interprocedural taint analyzer: a
+// wall-clock read and an unsorted map iteration each thread through
+// helpers into the fixture's marked artifact sink, while the sorted
+// variant stays clean.
+package nondetflow
+
+import (
+	"sort"
+	"time"
+)
+
+// persist is the fixture's artifact writer.
+//
+//nondetflow:sink
+func persist(words []uint64) {
+	_ = words
+}
+
+// stamp returns the wall clock in nanoseconds.
+func stamp() uint64 {
+	return uint64(time.Now().UnixNano())
+}
+
+// relay forwards its argument into the artifact.
+func relay(w uint64) {
+	persist([]uint64{w})
+}
+
+// Record threads a clock read through two helpers into the sink.
+func Record() {
+	w := stamp()
+	relay(w)
+}
+
+// Collect sorts the keys before persisting, so iteration order never
+// reaches the artifact.
+func Collect(m map[uint64]uint64) {
+	var keys []uint64
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	persist(keys)
+}
+
+// Leak persists the keys in map order.
+func Leak(m map[uint64]uint64) {
+	var keys []uint64
+	for k := range m {
+		keys = append(keys, k)
+	}
+	persist(keys)
+}

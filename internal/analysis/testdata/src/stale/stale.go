@@ -1,0 +1,21 @@
+// Package stale exercises stale-suppression detection: the first ignore
+// suppresses a live floateq finding and stays silent; the second names an
+// analyzer that reports nothing on its line and must itself be reported.
+package stale
+
+// eq compares stored bit patterns; the ignore is live.
+func eq(a, b float64) bool {
+	//lint:ignore floateq fixture: operands are stored bit patterns, never recomputed.
+	return a == b
+}
+
+// sum ranges over a slice; the mapiter ignore above the loop suppresses
+// nothing and is stale.
+func sum(xs []int) int {
+	total := 0
+	//lint:ignore mapiter fixture: this slice range was once a map range.
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -60,6 +60,41 @@ func invariant(ok bool) {
 
 func (o opts) Fingerprint() string { return string(rune(o.bits)) }
 
+// seal is the fixture's artifact boundary for the nondetflow suppression.
+//
+//nondetflow:sink
+func seal(words []uint64) {
+	_ = words
+}
+
+// stamp threads a clock read into the sealed artifact, justified: run
+// metadata is allowed to carry a timestamp.
+func stamp() {
+	//lint:ignore nondetflow fixture demonstrates a justified run-metadata timestamp.
+	w := uint64(time.Now().UnixNano()) //lint:ignore wallclock fixture: run metadata, never a coefficient.
+	seal([]uint64{w})
+}
+
+// Solve is the fixture's generation root for the ctxflow suppression.
+//
+//ctxflow:root
+func Solve() {
+	converge()
+}
+
+// converge terminates by the explicit counter check, so the unbounded
+// shape is justified.
+func converge() {
+	n := 0
+	//lint:ignore ctxflow fixture: the loop is bounded by the explicit counter check in its body.
+	for {
+		n++
+		if n == 8 {
+			return
+		}
+	}
+}
+
 // hot demonstrates a justified suppression inside a marked hot loop.
 //
 //evalhot:loop

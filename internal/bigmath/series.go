@@ -8,6 +8,8 @@ import "math/big"
 // rounding error is far below 2^-(w-24) relative — each kernel performs
 // only a few hundred rounded operations and truncates its series when the
 // next term falls 2^(w+8) below the running sum.
+//
+//lint:file-ignore ctxflow every summation loop's term shrinks at least geometrically on its reduced domain, so the 2^-(w+8) truncation test bounds each loop at O(w) iterations; the loops are unbounded only syntactically.
 
 // expSeries returns e^r for |r| ≤ 0.75 by scaling r down 2^scaleBits times,
 // summing the Taylor series, and squaring back up.

@@ -442,6 +442,12 @@ func solvePiece(ctx context.Context, rows []clarkson.Row, meta []rowMeta, st pol
 		}
 		terms[nLevels-1] = k
 		for {
+			// The term-escalation loop has no static bound; re-check
+			// cancellation each attempt so a stuck piece search cannot
+			// outlive its deadline.
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, nil, stats, false, fault.New(fault.CodeCanceled, StageSolve, "solve-piece", cerr)
+			}
 			assignTerms(rows, meta, terms)
 			if opt.Logf != nil {
 				opt.Logf("    attempting k=%d terms=%v ...", k, terms)

@@ -140,7 +140,7 @@ func GenerateStaged(ctx context.Context, fn bigmath.Func, opt Options, store *pi
 	}
 
 	//lint:ignore wallclock duration statistic only; the value never feeds a coefficient.
-	res.Stats.Duration = time.Since(start)
+	res.Stats.Duration = time.Since(start) //lint:ignore nondetflow EmitGo renders coefficients and specials, never Stats; the object-granular taint cannot see the field split.
 	res.Stats.Oracle = orc.Stats()
 	logf("%v: done in %v (%d attempts, %d iters, %d lucky, %d exact solves)",
 		fn, res.Stats.Duration.Round(time.Millisecond), res.Stats.Attempts,

@@ -202,6 +202,7 @@ func (t *ratTableau) initPhase2(obj []*big.Rat, artStart int) {
 // iterateBland runs exact simplex with Bland's anti-cycling rule until
 // optimality; returns false on unboundedness.
 func (t *ratTableau) iterateBland(artStart int) bool {
+	//lint:ignore ctxflow Bland's rule is anti-cycling: each basis repeats at most once, so the iteration count is bounded by the finite number of bases.
 	for {
 		enter := -1
 		for j := 0; j < t.n; j++ {

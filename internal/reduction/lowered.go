@@ -98,7 +98,11 @@ func (l *Lowered) Compensate(ctx Ctx, y0, y1 float64) float64 {
 
 // Special returns the result for special-path inputs. It may be arbitrarily
 // slow (the sinpi/cospi family consults the exact-value table), which is
-// fine: the batch loop reaches it only for inputs Reduce rejected.
+// fine: the batch loop reaches it only for inputs Reduce rejected. The
+// //evalhot:cold marker below records that audit: the interprocedural
+// hot-loop walk stops here instead of flagging the exact-value machinery.
+//
+//evalhot:cold
 func (l *Lowered) Special(x float64) float64 {
 	switch l.kind {
 	case loweredLog:
