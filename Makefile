@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check check-fault test race bench bench-parallel bench-pipeline bench-obs bench-eval vet build lint lint-json report
+.PHONY: check check-fault check-store test race bench bench-parallel bench-pipeline bench-obs bench-eval vet build lint lint-json report
 
 check:
 	@echo '== vet =='
@@ -16,6 +16,8 @@ check:
 	@$(MAKE) --no-print-directory lint
 	@echo '== check-fault =='
 	@$(MAKE) --no-print-directory check-fault
+	@echo '== check-store =='
+	@$(MAKE) --no-print-directory check-store
 	@echo '== race =='
 	@$(MAKE) --no-print-directory race
 	@echo '== check: all stages passed =='
@@ -43,6 +45,22 @@ lint-json:
 check-fault:
 	$(GO) test -race -run 'Fault|Plan|Sites|Panic|Corrupt|Cancel|Audit|Error' \
 		./internal/fault/ ./internal/cli/ ./internal/pipeline/ ./internal/parallel/
+
+# The store/distribution gate: every backend (disk, memory, remote
+# loopback) must generate bit-identical coefficients, a two-process
+# shard-claim run must assemble byte-identically to a solo run, and every
+# injected remote/claim fault must recover or fail typed (DESIGN.md §12).
+# STORE_WORKERS overrides the distribution scenarios' worker count and
+# STORE_FAULTS=off restricts the run to the fault-free scenarios — the CI
+# loopback matrix drives both; RLIBM_STORE_ARTIFACTS (a directory) makes
+# each scenario dump its post-run audit verdict and store event log there.
+STORE_WORKERS ?= 2
+STORE_FAULTS ?= on
+STORE_RUN_on  = TestBackend|TestTwoProcessShardClaim|TestShardStaleClaim|TestRemote|TestWire|TestServe|TestEventLog|TestSetFaults|TestRunRejectsEmptyKey|TestRunThroughRemote
+STORE_RUN_off = TestBackendBitIdentity|TestBackendMatrixColdWarm|TestTwoProcessShardClaim|TestEventLogConcurrency|TestWireRoundTrip|TestRunThroughRemoteMatchesDisk
+check-store:
+	RLIBM_STORE_WORKERS=$(STORE_WORKERS) $(GO) test -race -timeout 15m \
+		-run '$(STORE_RUN_$(STORE_FAULTS))' ./internal/pipeline/ ./internal/cli/
 
 test:
 	$(GO) test ./...

@@ -64,6 +64,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer common.CloseStore()
 
 	var fns []bigmath.Func
 	if *fnFlag == "all" {
@@ -104,7 +105,7 @@ func main() {
 		if *noVerify {
 			res, err = gen.GenerateStaged(ctx, fn, opt, store)
 		} else {
-			res, patched, err = cli.GenerateVerified(ctx, fn, opt, store)
+			res, patched, err = cli.GenerateVerifiedSharded(ctx, fn, opt, store, common.Shard())
 		}
 		if err != nil {
 			log.Printf("%v: %v", fn, err)

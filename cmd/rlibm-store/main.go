@@ -1,0 +1,91 @@
+// Command rlibm-store serves a content-addressed artifact store over the
+// framed-TCP wire protocol, so several rlibm processes — on one machine or
+// many — can share one cache and distribute work with -store
+// tcp://host:port (optionally plus -shard k/n).
+//
+// The server is a thin relay in front of an ordinary backend: every
+// consistency property (atomic publication, sealed-frame checksums, audit)
+// belongs to the backing store, and the bytes a client Puts are the bytes
+// every client Gets. By default it fronts the atomic-rename disk store
+// rooted at -cache-dir — persistent across restarts and shareable with
+// local dir: runs — while -mem serves an ephemeral in-memory store for
+// tests and throwaway distributed runs.
+//
+// Typical use:
+//
+//	rlibm-store -listen :7070                        # serve the default cache dir
+//	rlibm-store -listen 127.0.0.1:7070 -mem          # ephemeral store for a test fleet
+//	rlibm-gen -store tcp://host:7070 -shard 0/2 &    # then point workers at it
+//	rlibm-gen -store tcp://host:7070 -shard 1/2
+//
+// On SIGINT/SIGTERM the listener closes, in-flight connections drain, and
+// — for a disk backing — a final Audit sweep reports the cache's health.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/cli"
+	"repro/internal/pipeline"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7070", "TCP address to serve the store on")
+		cacheDir = flag.String("cache-dir", cli.DefaultCacheDir(), "artifact cache directory backing the served store")
+		mem      = flag.Bool("mem", false, "serve an ephemeral in-memory store instead of the disk cache")
+		verbose  = flag.Bool("v", false, "log per-connection protocol errors")
+	)
+	flag.Parse()
+
+	var backing pipeline.Store
+	if *mem {
+		backing = pipeline.NewMemStore()
+	} else {
+		if *cacheDir == "" {
+			log.Fatal("invalid -cache-dir \"\": the served store needs a directory (or pass -mem)")
+		}
+		st, err := pipeline.Open(*cacheDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		backing = st
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	where := "mem:"
+	if ds, ok := backing.(*pipeline.DiskStore); ok {
+		where = "dir:" + ds.Dir()
+	}
+	fmt.Printf("rlibm-store: serving %s on %s\n", where, l.Addr())
+
+	// Close the listener on SIGINT/SIGTERM; Serve drains and returns nil.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Printf("rlibm-store: %v — draining\n", s)
+		l.Close()
+	}()
+
+	var logf pipeline.Logf
+	if *verbose {
+		logf = log.Printf
+	}
+	if err := pipeline.Serve(l, backing, logf); err != nil {
+		log.Fatal(err)
+	}
+	if err := backing.Audit(); err != nil {
+		log.Fatalf("rlibm-store: post-run audit: %v", err)
+	}
+	fmt.Println("rlibm-store: audit clean")
+}

@@ -49,6 +49,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer common.CloseStore()
 		logf := common.Logf()
 		prog = func(fn bigmath.Func) (*gen.Result, error) {
 			res, _, err := cli.GenerateVerified(ctx, fn, common.ProgressiveOptions(false, logf), store)

@@ -74,6 +74,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer common.CloseStore()
 		progFor = func(fn bigmath.Func) (*gen.Result, error) {
 			res, _, err := cli.GenerateVerified(ctx, fn, common.ProgressiveOptions(false, nil), store)
 			return res, err

@@ -47,7 +47,7 @@ func baseOpts(workers int) gen.Options {
 // snapshot generates the progressive and baseline results through store and
 // renders every byte-comparable output: the emitted Go tables for both and
 // the Table 1 report over them.
-func snapshot(t *testing.T, store *pipeline.Store, workers int) (emitProg, emitBase, table []byte) {
+func snapshot(t *testing.T, store pipeline.Store, workers int) (emitProg, emitBase, table []byte) {
 	t.Helper()
 	prog, _, err := cli.GenerateVerified(context.Background(), testFn, progOpts(workers), store)
 	if err != nil {
@@ -69,7 +69,7 @@ func snapshot(t *testing.T, store *pipeline.Store, workers int) (emitProg, emitB
 		buf.Bytes()
 }
 
-func openStore(t *testing.T, dir string) *pipeline.Store {
+func openStore(t *testing.T, dir string) pipeline.Store {
 	t.Helper()
 	st, err := pipeline.Open(dir)
 	if err != nil {

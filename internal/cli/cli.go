@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/bigmath"
@@ -26,7 +27,6 @@ import (
 	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/pipeline"
-	"repro/internal/verify"
 )
 
 // Common holds the flag values shared by every rlibm command.
@@ -41,9 +41,21 @@ type Common struct {
 	// Bits is the width of the largest representation.
 	Bits int
 	// CacheDir roots the content-addressed artifact store; empty disables
-	// caching, as does NoCache.
+	// caching, as does NoCache. Kept as an alias for -store dir:PATH.
 	CacheDir string
 	NoCache  bool
+	// StoreURL selects the artifact-store backend: "dir:PATH" (atomic-
+	// rename on-disk store), "mem:" (ephemeral in-memory store) or
+	// "tcp://host:port" (remote store served by rlibm-store). Empty means
+	// "dir:" + CacheDir — the historical behavior.
+	StoreURL string
+	// ShardSpec is the -shard flag value "k/n": this process computes
+	// slice k of the n-way distributed work partition (claims and work
+	// units published through the shared store). Empty means solo.
+	ShardSpec string
+	// store is the backend opened by Store(), retained so FinishRun can
+	// record remote transport counters and CloseStore can close it.
+	store pipeline.Store
 	// Timeout, when positive, bounds the whole run: the Context this
 	// package hands to the pipeline is canceled after it and every stage
 	// returns a typed canceled fault, leaving the cache resumable.
@@ -70,8 +82,12 @@ func Register(fs *flag.FlagSet) *Common {
 	fs.IntVar(&c.Bits, "bits", gen.DefaultLargestBits,
 		"width of the largest representation (paper: 32; see DESIGN.md)")
 	fs.StringVar(&c.CacheDir, "cache-dir", DefaultCacheDir(),
-		"artifact cache directory (empty disables caching)")
+		"artifact cache directory (empty disables caching; alias for -store dir:PATH)")
 	fs.BoolVar(&c.NoCache, "no-cache", false, "disable the artifact cache")
+	fs.StringVar(&c.StoreURL, "store", "",
+		"artifact store URL: dir:PATH, mem:, or tcp://host:port (default: dir:<cache-dir>)")
+	fs.StringVar(&c.ShardSpec, "shard", "",
+		"distributed work slice k/n: this process claims and computes slice k of n (requires a shared -store)")
 	fs.DurationVar(&c.Timeout, "timeout", 0,
 		"abort the run after this duration (0 disables); an aborted run leaves the cache resumable")
 	fs.BoolVar(&c.Verbose, "v", false,
@@ -100,7 +116,20 @@ func (c *Common) Validate() error {
 	if c.Timeout < 0 {
 		return fmt.Errorf("invalid -timeout %v: must be at least 0 (0 disables the deadline)", c.Timeout)
 	}
+	if _, err := gen.ParseShard(c.ShardSpec); err != nil {
+		return err
+	}
+	if _, _, err := splitStoreURL(c.StoreURL); err != nil {
+		return err
+	}
 	return nil
+}
+
+// Shard returns the parsed -shard value; Validate has already rejected
+// malformed specs.
+func (c *Common) Shard() gen.Shard {
+	s, _ := gen.ParseShard(c.ShardSpec)
+	return s
 }
 
 // Context returns the run context selected by the flags: background, or a
@@ -135,9 +164,13 @@ func (c *Common) NewRecorder() *obs.Recorder {
 }
 
 // ReportPath returns where -report writes report.json: next to the
-// artifact cache, or the working directory when caching is disabled.
+// artifact cache when the store is directory-backed, or the working
+// directory otherwise (caching disabled, memory store, remote store).
 func (c *Common) ReportPath() string {
 	if c.NoCache || c.CacheDir == "" {
+		return "report.json"
+	}
+	if scheme, _, _ := splitStoreURL(c.StoreURL); scheme == "mem" || scheme == "tcp" {
 		return "report.json"
 	}
 	return filepath.Join(c.CacheDir, "report.json")
@@ -149,6 +182,14 @@ func (c *Common) ReportPath() string {
 func (c *Common) FinishRun(rec *obs.Recorder, command string) error {
 	if rec == nil {
 		return nil
+	}
+	if rs, ok := c.store.(*pipeline.RemoteStore); ok {
+		st := rs.Stats()
+		root := rec.Root()
+		root.Add(obs.CtrRemoteRoundTrips, st.RoundTrips)
+		root.Add(obs.CtrRemoteRetries, st.Retries)
+		root.Add(obs.CtrRemoteBytesSent, st.BytesSent)
+		root.Add(obs.CtrRemoteBytesRecv, st.BytesRecv)
 	}
 	rec.Root().End()
 	rep := rec.Report()
@@ -217,18 +258,77 @@ func DefaultCacheDir() string {
 	return ".rlibm-cache"
 }
 
-// Store opens the artifact store selected by the flags. A nil store (with
-// nil error) means caching is disabled; every staged entry point accepts
-// that and computes in memory.
-func (c *Common) Store() (*pipeline.Store, error) {
-	if c.NoCache || c.CacheDir == "" {
+// splitStoreURL validates and splits a -store URL into scheme and rest.
+// The empty URL is valid (it defers to -cache-dir) and splits to ("", "").
+func splitStoreURL(url string) (scheme, rest string, _ error) {
+	switch {
+	case url == "":
+		return "", "", nil
+	case strings.HasPrefix(url, "dir:"):
+		if rest = strings.TrimPrefix(url, "dir:"); rest == "" {
+			return "", "", fmt.Errorf("invalid -store %q: dir: needs a path (e.g. dir:/var/cache/rlibm)", url)
+		}
+		return "dir", rest, nil
+	case url == "mem:" || url == "mem":
+		return "mem", "", nil
+	case strings.HasPrefix(url, "tcp://"), strings.HasPrefix(url, "tcp:"):
+		rest = strings.TrimPrefix(strings.TrimPrefix(url, "tcp://"), "tcp:")
+		if rest == "" {
+			return "", "", fmt.Errorf("invalid -store %q: tcp: needs host:port (e.g. tcp://localhost:7070)", url)
+		}
+		return "tcp", rest, nil
+	default:
+		return "", "", fmt.Errorf("invalid -store %q: scheme must be dir:, mem: or tcp:", url)
+	}
+}
+
+// Store opens the artifact store selected by the flags: -store dir:/mem:/
+// tcp: when given, else the -cache-dir disk store. A nil store (with nil
+// error) means caching is disabled; every staged entry point accepts that
+// and computes in memory. The opened store is retained on c for FinishRun
+// (remote transport counters) and CloseStore.
+func (c *Common) Store() (pipeline.Store, error) {
+	if c.NoCache {
 		return nil, nil
 	}
-	st, err := pipeline.Open(c.CacheDir)
-	if err != nil {
-		return nil, fmt.Errorf("open artifact cache: %w", err)
+	if c.store != nil {
+		return c.store, nil
 	}
-	return st, nil
+	scheme, rest, err := splitStoreURL(c.StoreURL)
+	if err != nil {
+		return nil, err
+	}
+	if scheme == "" {
+		if c.CacheDir == "" {
+			return nil, nil
+		}
+		scheme, rest = "dir", c.CacheDir
+	}
+	switch scheme {
+	case "dir":
+		st, oerr := pipeline.Open(rest)
+		if oerr != nil {
+			return nil, fmt.Errorf("open artifact cache: %w", oerr)
+		}
+		c.store = st
+	case "mem":
+		c.store = pipeline.NewMemStore()
+	case "tcp":
+		st, derr := pipeline.DialRemote(rest, 0)
+		if derr != nil {
+			return nil, derr
+		}
+		c.store = st
+	}
+	return c.store, nil
+}
+
+// CloseStore releases the store opened by Store (a no-op for backends
+// without a connection). Commands defer it after opening their store.
+func (c *Common) CloseStore() {
+	if rs, ok := c.store.(*pipeline.RemoteStore); ok {
+		rs.Close()
+	}
 }
 
 // BaselinePieces mirrors the RLibm-All sub-domain counts of Table 1,
@@ -284,7 +384,17 @@ func (c *Common) BaselineOptions(fn bigmath.Func, logf func(string, ...interface
 //
 // This lives here rather than in internal/gen because the verify stage
 // needs internal/verify, which itself imports gen.
-func GenerateVerified(ctx context.Context, fn bigmath.Func, opt gen.Options, store *pipeline.Store) (res *gen.Result, patched int, err error) {
+func GenerateVerified(ctx context.Context, fn bigmath.Func, opt gen.Options, store pipeline.Store) (res *gen.Result, patched int, err error) {
+	return GenerateVerifiedSharded(ctx, fn, opt, store, gen.Shard{})
+}
+
+// GenerateVerifiedSharded is GenerateVerified for one process of a
+// distributed run: the exhaustive verification sweeps are split into
+// shard.N content-addressed work units in the shared store, this process
+// claims and computes slice shard.K, and every process assembles the
+// merged result bit-identically to a solo run (see repairSharded). The
+// solo shard (or a nil store) degrades to exactly GenerateVerified.
+func GenerateVerifiedSharded(ctx context.Context, fn bigmath.Func, opt gen.Options, store pipeline.Store, shard gen.Shard) (res *gen.Result, patched int, err error) {
 	orc := opt.Oracle
 	if orc == nil {
 		orc = oracle.New(fn)
@@ -309,7 +419,7 @@ func GenerateVerified(ctx context.Context, fn bigmath.Func, opt gen.Options, sto
 			if err != nil {
 				return nil, err
 			}
-			patched, err = verify.Repair(r, orc, opt.Workers)
+			patched, err = repairSharded(ctx, store, fn, opt, shard, r, orc)
 			if err != nil {
 				return nil, err
 			}

@@ -96,12 +96,12 @@ func checkScenarioRun(t *testing.T, ref *faultBaseline, res *gen.Result, err err
 // checkStore asserts the cache is sound after a scenario run: no temp or
 // corrupt files, and every artifact present is byte-identical to the
 // reference run's artifact at the same address.
-func checkStore(t *testing.T, ref *faultBaseline, store *pipeline.Store, run string) {
+func checkStore(t *testing.T, ref *faultBaseline, store pipeline.Store, dir, run string) {
 	t.Helper()
 	if err := store.Audit(); err != nil {
 		t.Errorf("%s: store audit: %v", run, err)
 	}
-	for rel, sum := range artifactDigests(t, store.Dir()) {
+	for rel, sum := range artifactDigests(t, dir) {
 		want, known := ref.artifacts[rel]
 		if !known {
 			// Artifact at an address the reference run never wrote — the
@@ -138,14 +138,14 @@ func TestFaultMatrix(t *testing.T) {
 					store.SetFaults(plan)
 					res, _, err := cli.GenerateVerified(context.Background(), testFn, opt, store)
 					checkScenarioRun(t, ref, res, err, "cold")
-					checkStore(t, ref, store, "cold")
+					checkStore(t, ref, store, dir, "cold")
 
 					// Second run against the same store: exercises the
 					// read-side sites on a warm cache (the cold run may not
 					// have reached the scheduled occurrence).
 					res, _, err = cli.GenerateVerified(context.Background(), testFn, opt, store)
 					checkScenarioRun(t, ref, res, err, "warm")
-					checkStore(t, ref, store, "warm")
+					checkStore(t, ref, store, dir, "warm")
 
 					// Fault-free resume: whatever the injected runs did, a
 					// clean run over the same cache must produce the
@@ -157,7 +157,7 @@ func TestFaultMatrix(t *testing.T) {
 						t.Fatalf("resume: %v", err)
 					}
 					checkScenarioRun(t, ref, res, err, "resume")
-					checkStore(t, ref, clean, "resume")
+					checkStore(t, ref, clean, dir, "resume")
 				})
 			}
 		}
@@ -202,7 +202,7 @@ func TestFaultUnrecoverable(t *testing.T) {
 			if fe.Stage == "" || fe.Func == "" {
 				t.Errorf("fault error missing stage/function context: %+v", fe)
 			}
-			checkStore(t, ref, store, "failed")
+			checkStore(t, ref, store, dir, "failed")
 
 			clean := openStore(t, dir)
 			opt.Faults = nil
@@ -211,7 +211,7 @@ func TestFaultUnrecoverable(t *testing.T) {
 				t.Fatalf("resume after unrecoverable fault: %v", rerr)
 			}
 			checkScenarioRun(t, ref, res, rerr, "resume")
-			checkStore(t, ref, clean, "resume")
+			checkStore(t, ref, clean, dir, "resume")
 		})
 	}
 }

@@ -1,0 +1,196 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/bigmath"
+	"repro/internal/fault"
+	"repro/internal/fp"
+	"repro/internal/gen"
+	"repro/internal/oracle"
+	"repro/internal/parallel"
+	"repro/internal/pipeline"
+	"repro/internal/verify"
+)
+
+// Distributed verification. The exhaustive Verify/Repair sweeps dominate a
+// cold run, so they are the first workload split across processes: each
+// (level, pass) sweep of verify.Repair is partitioned into shard.N
+// contiguous input slices, each slice a content-addressed work unit
+// (gen.VerifyShardKey) in the shared store. Every process computes the
+// units it owns (publishing a claim first), assembles the rest from the
+// store — polling briefly for units a live peer has claimed, computing
+// locally otherwise — and merges the per-slice reports in ascending slice
+// order. verify.MergeReports makes that merge bit-identical to a solo
+// sweep for any partition, and gen.Result.AddSpecial keeps each level's
+// special table sorted, so the patch set — and therefore every emitted
+// coefficient — is bit-identical to a single-process run no matter which
+// process computed which slice.
+
+// shardReportCodec encodes one verification work unit's per-mode reports.
+var shardReportCodec = pipeline.Codec[[]verify.Report]{
+	Name:    "verify-shard",
+	Version: 1,
+	Encode: func(e *pipeline.Enc, reps []verify.Report) {
+		e.Int(len(reps))
+		for _, r := range reps {
+			e.Int(r.Format.Bits())
+			e.Int(r.Format.ExpBits())
+			e.Int(int(r.Mode))
+			e.U64(r.Checked)
+			e.Int(len(r.Mismatches))
+			for _, b := range r.Mismatches {
+				e.U64(b)
+			}
+		}
+	},
+	Decode: func(d *pipeline.Dec) ([]verify.Report, error) {
+		n := d.Len()
+		reps := make([]verify.Report, 0, n)
+		for i := 0; i < n; i++ {
+			bits, expBits := d.Int(), d.Int()
+			mode := fp.Mode(d.Int())
+			checked := d.U64()
+			m := d.Len()
+			var mm []uint64
+			for j := 0; j < m; j++ {
+				mm = append(mm, d.U64())
+			}
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			f, err := fp.NewFormat(bits, expBits)
+			if err != nil {
+				return nil, fmt.Errorf("%w: report %d: %v", pipeline.ErrCorrupt, i, err)
+			}
+			if mode < fp.RoundNearestEven || mode > fp.RoundToOdd {
+				return nil, fmt.Errorf("%w: report %d: invalid mode %d", pipeline.ErrCorrupt, i, mode)
+			}
+			reps = append(reps, verify.Report{Format: f, Mode: mode, Checked: checked, Mismatches: mm})
+		}
+		return reps, nil
+	},
+}
+
+// claimPollAttempts × claimPollInterval bounds how long the assembler
+// waits for a peer's claimed unit before computing it locally. The wait is
+// pure scheduling — which process computes a unit never changes the unit's
+// bytes — so the timing cannot influence generated coefficients.
+const (
+	claimPollAttempts = 40
+	claimPollInterval = 50 * time.Millisecond
+)
+
+// repairSharded is verify.Repair with the exhaustive sweeps distributed:
+// it mirrors Repair's control flow exactly — per level, round-to-nearest
+// for the smaller levels and all standard modes for the last (or every,
+// under ProgressiveRO) level, two sweep-and-patch passes, the same
+// RepairBudget — but runs each sweep as shard.N store-mediated work units
+// instead of one in-process pool sweep. A solo shard or nil store is
+// exactly verify.Repair.
+//
+// Pass 1 of a level depends on the patches of pass 0: every process
+// assembles all pass-0 units and applies the identical (merged, mode-major,
+// input-ascending) patch set before sweeping pass 1, so the Result each
+// process sweeps against is bit-identical — which is what makes duplicate
+// unit computation harmless.
+func repairSharded(ctx context.Context, st pipeline.Store, fn bigmath.Func, opt gen.Options,
+	shard gen.Shard, res *gen.Result, orc *oracle.Oracle) (int, error) {
+
+	if st == nil || shard.Solo() {
+		return verify.Repair(res, orc, opt.Workers)
+	}
+	logf := pipeline.Logf(opt.Logf)
+	patched := 0
+	for li, lvl := range res.Levels {
+		modes := []fp.Mode{fp.RoundNearestEven}
+		if li == len(res.Levels)-1 || res.ProgressiveRO {
+			modes = fp.StandardModes
+		}
+		ext := lvl.Extend(2)
+		for pass := 0; pass < 2; pass++ {
+			units := parallel.SplitRange(lvl.NumValues(), shard.N)
+			per := make([][]verify.Report, len(units))
+			compute := func(u parallel.Range) func(context.Context) ([]verify.Report, error) {
+				return func(context.Context) ([]verify.Report, error) {
+					return verify.ExhaustiveLevelRange(res, orc, li, modes, opt.Workers, u.Lo, u.Hi), nil
+				}
+			}
+			// Own units first: claim, compute, publish.
+			for j, u := range units {
+				if !shard.Mine(j) {
+					continue
+				}
+				key := gen.VerifyShardKey(fn, opt, li, pass, j, len(units))
+				if !gen.Claim(st, key, shard, opt.Faults) {
+					continue // a peer took this unit over; assembled below
+				}
+				reps, _, err := pipeline.Run(ctx, st, key, shardReportCodec, logf, compute(u))
+				if err != nil {
+					return patched, err
+				}
+				per[j] = reps
+			}
+			// Assemble the rest: poll for live peers, compute stragglers.
+			for j, u := range units {
+				if per[j] != nil {
+					continue
+				}
+				key := gen.VerifyShardKey(fn, opt, li, pass, j, len(units))
+				reps, err := fetchUnit(ctx, st, key, shard, opt.Faults, logf, compute(u))
+				if err != nil {
+					return patched, err
+				}
+				per[j] = reps
+			}
+			merged := verify.MergeReports(lvl, modes, per)
+			total := 0
+			for _, rep := range merged {
+				total += len(rep.Mismatches)
+				for _, b := range rep.Mismatches {
+					x := lvl.Decode(b)
+					proxy := ext.Decode(orc.Result(x, ext, fp.RoundToOdd))
+					res.AddSpecial(li, x, proxy)
+					patched++
+				}
+			}
+			if total == 0 {
+				break
+			}
+			if total > verify.RepairBudget {
+				return patched, fmt.Errorf("verify: level %v has %d mismatches (budget %d)",
+					lvl, total, verify.RepairBudget)
+			}
+		}
+	}
+	return patched, nil
+}
+
+// fetchUnit obtains one work unit another shard owns: probe the store,
+// and while a peer's claim stands, poll within the grace window. A unit
+// that never appears — no claim, a stale claim (SiteClaimStale), or a
+// peer that stalled past the window — is claimed and computed locally,
+// which at worst duplicates a peer's byte-identical artifact.
+func fetchUnit(ctx context.Context, st pipeline.Store, key pipeline.Key, shard gen.Shard,
+	faults *fault.Plan, logf pipeline.Logf, compute func(context.Context) ([]verify.Report, error)) ([]verify.Report, error) {
+
+	for attempt := 0; ; attempt++ {
+		if reps, ok := pipeline.Probe(st, key, shardReportCodec); ok {
+			return reps, nil
+		}
+		owner, claimed := gen.ClaimedBy(st, key, faults)
+		if !claimed || owner == shard.Owner() || attempt >= claimPollAttempts {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fault.New(fault.CodeCanceled, gen.StageVerifyShard, "fetch", ctx.Err()).WithFunc(key.Func)
+		case <-time.After(claimPollInterval):
+		}
+	}
+	gen.Claim(st, key, shard, faults)
+	reps, _, err := pipeline.Run(ctx, st, key, shardReportCodec, logf, compute)
+	return reps, err
+}

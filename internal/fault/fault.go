@@ -41,9 +41,14 @@ const (
 	// ran dry without finding a polynomial.
 	CodeSolverBudget Code = "solver-budget"
 	// CodeStoreIO: the artifact store failed to read or write an
-	// artifact (including short writes). Always recoverable — caching is
-	// an optimization, the pipeline recomputes.
+	// artifact (including short writes and remote transport failures).
+	// Always recoverable — caching is an optimization, the pipeline
+	// recomputes.
 	CodeStoreIO Code = "store-io"
+	// CodeStoreKey: a stage artifact key with an empty component reached
+	// the store. Empty components would alias distinct runs onto one
+	// content address, so the pipeline rejects them before any probe.
+	CodeStoreKey Code = "store-key"
 	// CodeArtifactCorrupt: a cached artifact failed its checksum or
 	// decode; the store deletes it and the stage regenerates.
 	CodeArtifactCorrupt Code = "artifact-corrupt"

@@ -35,6 +35,17 @@ const (
 	// SiteOracleZiv: the oracle's Ziv loop exhausts its precision budget
 	// for one input.
 	SiteOracleZiv Site = "oracle.ziv"
+	// SiteRemoteConn: the remote store's connection drops before a request
+	// completes; the client reconnects and retries, then degrades to a
+	// cache miss (Get) or a typed store-io error (Put/Audit).
+	SiteRemoteConn Site = "store.remote.conn"
+	// SiteRemoteShort: a remote response frame arrives truncated, so its
+	// checksum cannot verify; treated exactly like a dropped connection.
+	SiteRemoteShort Site = "store.remote.short"
+	// SiteClaimStale: a shard-claim artifact reads back stale or foreign,
+	// so the worker abandons waiting on the claimed peer and computes the
+	// work unit itself — recovering bit-identically by construction.
+	SiteClaimStale Site = "store.claim.stale"
 )
 
 // Sites lists every built-in injection site in deterministic order, for
@@ -43,6 +54,7 @@ func Sites() []Site {
 	return []Site{
 		SiteStoreWrite, SiteStoreWriteShort, SiteStoreRead, SiteStoreBitFlip,
 		SiteSolverSample, SiteSolverBudget, SiteWorkerPanic, SiteOracleZiv,
+		SiteRemoteConn, SiteRemoteShort, SiteClaimStale,
 	}
 }
 

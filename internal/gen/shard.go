@@ -1,0 +1,168 @@
+package gen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/bigmath"
+	"repro/internal/fault"
+	"repro/internal/pipeline"
+)
+
+// Shard-claim work distribution. A distributed run splits stage work —
+// first workload: the exhaustive verification sweeps — into (function,
+// stage, shard) units, each an ordinary content-addressed artifact, so N
+// processes sharing one store (typically over the remote backend) each
+// compute a disjoint slice and any process can assemble the merged result
+// bit-identically. Claims are tiny artifacts published next to the work
+// units: before computing a unit, a worker publishes "shard k/n is
+// computing this", and peers poll the unit artifact for a bounded grace
+// window before computing it themselves. Claims are therefore an
+// optimization against duplicate work, never a correctness dependency —
+// unit artifacts are deterministic bytes, so a lost, stale or raced claim
+// at worst makes two processes write the identical artifact.
+
+// Shard identifies one process's slice of a distributed run: slice K of N
+// (K in [0,N)). The zero value — and any N <= 1 — means "solo": no
+// claims, no waiting, all units computed locally.
+type Shard struct {
+	K int
+	N int
+}
+
+// Solo reports whether the shard spans the whole run.
+func (s Shard) Solo() bool { return s.N <= 1 }
+
+// Owner is the claim-owner token of this shard: distinct across the
+// cooperating processes of one run by construction, and deterministic so
+// reruns recognize their own claims.
+func (s Shard) Owner() string { return fmt.Sprintf("shard-%d.%d", s.K, s.N) }
+
+func (s Shard) String() string { return fmt.Sprintf("%d/%d", s.K, s.N) }
+
+// Mine reports whether work unit j of the run's N-unit partition is
+// assigned to this shard.
+func (s Shard) Mine(j int) bool { return s.Solo() || j == s.K }
+
+// ParseShard parses a -shard flag value "k/n"; the empty string is the
+// solo shard.
+func ParseShard(v string) (Shard, error) {
+	if v == "" {
+		return Shard{}, nil
+	}
+	k, n, ok := strings.Cut(v, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("invalid -shard %q: must be k/n (e.g. 0/2)", v)
+	}
+	ki, err1 := strconv.Atoi(k)
+	ni, err2 := strconv.Atoi(n)
+	if err1 != nil || err2 != nil || ni < 1 || ki < 0 || ki >= ni {
+		return Shard{}, fmt.Errorf("invalid -shard %q: must be k/n with 0 <= k < n", v)
+	}
+	return Shard{K: ki, N: ni}, nil
+}
+
+// VerifyShardKey addresses one exhaustive-verification work unit: the
+// pass-p mismatch sweep of level li, slice j of n, of fn under opt
+// (defaults applied). The unit fingerprint extends the full options
+// fingerprint with the unit coordinates, so each unit is its own
+// content-addressed, resumable artifact.
+func VerifyShardKey(fn bigmath.Func, opt Options, li, pass, j, n int) pipeline.Key {
+	opt.defaults()
+	return pipeline.Key{
+		Func:  fn.String(),
+		Stage: StageVerifyShard,
+		Fingerprint: fmt.Sprintf("%s-L%d-p%d-%d.%d",
+			opt.Fingerprint(), li, pass, j, n),
+	}
+}
+
+// StageVerifyShard names the distributed-verification work-unit stage,
+// as it appears in artifact keys and cache event logs.
+const StageVerifyShard = "verify-shard"
+
+// StageClaim names the claim stage. One claim artifact sits next to each
+// work unit, addressed by the unit's own key components.
+const StageClaim = "claim"
+
+// claimKey derives the claim artifact key of a work unit.
+func claimKey(unit pipeline.Key) pipeline.Key {
+	return pipeline.Key{
+		Func:        unit.Func,
+		Stage:       StageClaim,
+		Fingerprint: unit.Stage + "-" + unit.Fingerprint,
+	}
+}
+
+// ClaimCodec encodes a claim artifact: the owner token of the shard that
+// announced it is computing the unit.
+var ClaimCodec = pipeline.Codec[string]{
+	Name:    "store-claim",
+	Version: 1,
+	Encode:  func(e *pipeline.Enc, owner string) { e.Str(owner) },
+	Decode: func(d *pipeline.Dec) (string, error) {
+		owner := d.Str()
+		if d.Err() == nil && owner == "" {
+			return "", fmt.Errorf("%w: empty claim owner", pipeline.ErrCorrupt)
+		}
+		return owner, d.Err()
+	},
+}
+
+// Claim publishes shard's claim on unit, unless a peer already holds one:
+// it returns true when this shard holds the claim afterwards (and should
+// compute the unit), false when a peer's claim stands. Claims are
+// last-writer-wins artifacts — a racing pair of processes may both see
+// true — which is safe because the unit artifacts they then publish are
+// byte-identical. Injection: SiteClaimStale makes an existing peer claim
+// read back stale, so the caller reclaims and computes the unit itself.
+func Claim(st pipeline.Store, unit pipeline.Key, shard Shard, faults *fault.Plan) bool {
+	if st == nil || shard.Solo() {
+		return true
+	}
+	if owner, ok := ClaimedBy(st, unit, faults); ok && owner != shard.Owner() {
+		return false
+	}
+	seal := sealClaim(shard.Owner())
+	ck := claimKey(unit)
+	if err := st.Put(ck, ClaimCodec.Name, ClaimCodec.Version, seal); err != nil {
+		// A claim that cannot be written is only lost dedup: compute.
+		return true
+	}
+	owner, ok := ClaimedBy(st, unit, faults)
+	return !ok || owner == shard.Owner()
+}
+
+// ClaimedBy returns the owner token of the claim on unit, if a readable,
+// well-formed claim exists. Injection: SiteClaimStale reports any
+// existing claim as unreadable, which callers treat as "no live peer".
+func ClaimedBy(st pipeline.Store, unit pipeline.Key, faults *fault.Plan) (owner string, ok bool) {
+	if st == nil {
+		return "", false
+	}
+	data, found := st.Get(claimKey(unit), ClaimCodec.Name, ClaimCodec.Version)
+	if !found {
+		return "", false
+	}
+	if faults.Should(fault.SiteClaimStale) {
+		return "", false
+	}
+	payload, err := pipeline.Unseal(data, ClaimCodec.Name, ClaimCodec.Version)
+	if err != nil {
+		return "", false
+	}
+	d := pipeline.NewDec(payload)
+	owner, derr := ClaimCodec.Decode(d)
+	if derr != nil || d.Done() != nil {
+		return "", false
+	}
+	return owner, true
+}
+
+// sealClaim frames a claim artifact for storage.
+func sealClaim(owner string) []byte {
+	var e pipeline.Enc
+	ClaimCodec.Encode(&e, owner)
+	return pipeline.Seal(ClaimCodec.Name, ClaimCodec.Version, e.Bytes())
+}

@@ -61,7 +61,7 @@ func oracleFor(fn bigmath.Func, opt Options) (*oracle.Oracle, error) {
 // falling back to the oracle-driven enumeration. A warm reduce artifact
 // therefore skips the Enumerate stage entirely.
 func reduceStaged(ctx context.Context, fn bigmath.Func, scheme reduction.Scheme, orc *oracle.Oracle,
-	opt Options, store *pipeline.Store, logf func(string, ...interface{})) (*constraintSet, error) {
+	opt Options, store pipeline.Store, logf func(string, ...interface{})) (*constraintSet, error) {
 
 	cs, _, err := pipeline.Run(ctx, store, stageKey(fn, StageReduce, opt), constraintCodec,
 		pipeline.Logf(logf), func(ctx context.Context) (*constraintSet, error) {
@@ -87,7 +87,7 @@ func reduceStaged(ctx context.Context, fn bigmath.Func, scheme reduction.Scheme,
 // EnumerateStaged is Enumerate with an artifact store: it runs (or loads)
 // the Enumerate and Reduce stages and reports the system size. Tooling
 // uses it to warm a cache without paying for a solve.
-func EnumerateStaged(ctx context.Context, fn bigmath.Func, opt Options, store *pipeline.Store) (rawConstraints, mergedRows int, err error) {
+func EnumerateStaged(ctx context.Context, fn bigmath.Func, opt Options, store pipeline.Store) (rawConstraints, mergedRows int, err error) {
 	opt.defaults()
 	if err := checkLevels(opt.Levels); err != nil {
 		return 0, 0, err
@@ -112,7 +112,7 @@ func EnumerateStaged(ctx context.Context, fn bigmath.Func, opt Options, store *p
 // and sibling commands sharing one store enumerate each function exactly
 // once. The returned result is bit-identical for every worker count and
 // cache state.
-func GenerateStaged(ctx context.Context, fn bigmath.Func, opt Options, store *pipeline.Store) (*Result, error) {
+func GenerateStaged(ctx context.Context, fn bigmath.Func, opt Options, store pipeline.Store) (*Result, error) {
 	opt.defaults()
 	if err := checkLevels(opt.Levels); err != nil {
 		return nil, err

@@ -92,6 +92,16 @@ const (
 	CtrStoreBytesRead    Counter = "store.bytes_read"
 	CtrStoreBytesWritten Counter = "store.bytes_written"
 
+	// Remote store transport (internal/pipeline RemoteStore; recorded
+	// once per run by internal/cli from the client's RemoteStats
+	// snapshot). One round trip per store-operation attempt, so the
+	// counts are deterministic for a fixed workload and injection plan;
+	// retries count transport failures consumed by the reconnect budget.
+	CtrRemoteRoundTrips Counter = "store.remote.round_trips"
+	CtrRemoteRetries    Counter = "store.remote.retries"
+	CtrRemoteBytesSent  Counter = "store.remote.bytes_sent"
+	CtrRemoteBytesRecv  Counter = "store.remote.bytes_recv"
+
 	// Batched serving-path evaluation (internal/eval). Recorded once per
 	// EvalBatch call — never per input — so the hot loop stays free of
 	// locks and allocation; a kernel without an attached span records
@@ -114,6 +124,7 @@ func Taxonomy() []Counter {
 		CtrRowsEnumerated, CtrRowsReduced,
 		CtrSpecialsResolved, CtrVerifyPatched,
 		CtrStoreHits, CtrStoreMisses, CtrStoreBytesRead, CtrStoreBytesWritten,
+		CtrRemoteRoundTrips, CtrRemoteRetries, CtrRemoteBytesSent, CtrRemoteBytesRecv,
 		CtrEvalBatches, CtrEvalInputs, CtrEvalSpecialHits, CtrEvalTruncated, CtrEvalFull,
 	}
 }

@@ -133,6 +133,21 @@ func (e *Enc) Bool(v bool) {
 	e.buf = append(e.buf, b)
 }
 
+// Byte appends one raw byte.
+func (e *Enc) Byte(v byte) { e.buf = append(e.buf, v) }
+
+// Blob appends a length-prefixed byte slice.
+func (e *Enc) Blob(v []byte) {
+	e.Int(len(v))
+	e.buf = append(e.buf, v...)
+}
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(v string) {
+	e.Int(len(v))
+	e.buf = append(e.buf, v...)
+}
+
 // Dec decodes an Enc payload. Errors are sticky: the first bounds or
 // validity failure wedges the decoder into an ErrCorrupt state, every
 // subsequent read returns zero values, and Err/Done report the failure —
@@ -208,6 +223,36 @@ func (d *Dec) Bool() bool {
 	}
 	d.fail("invalid bool byte %d", b[0])
 	return false
+}
+
+// Byte reads one raw byte.
+func (d *Dec) Byte() byte {
+	b := d.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Blob reads a length-prefixed byte slice (a copy, so the decoder's
+// backing buffer can be reused).
+func (d *Dec) Blob() []byte {
+	n := d.Len()
+	b := d.bytes(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// Str reads a length-prefixed string.
+func (d *Dec) Str() string {
+	n := d.Len()
+	b := d.bytes(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
 }
 
 // Len reads a slice length and sanity-bounds it: a length that is

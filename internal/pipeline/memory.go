@@ -1,0 +1,111 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/fault"
+)
+
+// MemStore is the in-memory artifact store: fast tests, ephemeral runs,
+// and the backing of choice for a throwaway rlibm-store server. It keeps
+// sealed frames in a map keyed by content address and honors the same
+// injection sites as the disk store, so the backend-matrix tests can pin
+// identical observable behavior. The zero value is not usable; call
+// NewMemStore.
+type MemStore struct {
+	mu   sync.RWMutex
+	data map[string][]byte
+	faultGate
+	eventLog
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{data: make(map[string][]byte)}
+}
+
+// Get returns the artifact bytes under key. The returned slice is a copy,
+// so a caller-side mutation (or an injected bit flip) can never corrupt
+// the stored artifact. Injection: SiteStoreRead turns the read into a
+// miss; SiteStoreBitFlip corrupts one byte of the returned copy.
+func (s *MemStore) Get(key Key, codecName string, codecVersion uint32) ([]byte, bool) {
+	if s.faults().Should(fault.SiteStoreRead) {
+		return nil, false
+	}
+	s.mu.RLock()
+	stored, ok := s.data[contentAddress(key, codecName, codecVersion)]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	data := append([]byte(nil), stored...)
+	if s.faults().Should(fault.SiteStoreBitFlip) && len(data) > 0 {
+		data[len(data)/2] ^= 0x01
+	}
+	return data, true
+}
+
+// Put stores a copy of data under key. The map swap is atomic under the
+// lock, so a concurrent Get sees the previous artifact or the new one,
+// never a partial write. Injection: SiteStoreWrite and SiteStoreWriteShort
+// both fail before the map is touched — the short-write site cannot
+// persist a prefix here, mirroring how the disk store never renames a
+// short temp file into place.
+func (s *MemStore) Put(key Key, codecName string, codecVersion uint32, data []byte) error {
+	if s.faults().Should(fault.SiteStoreWrite) {
+		return fault.Injected(fault.SiteStoreWrite)
+	}
+	if s.faults().Should(fault.SiteStoreWriteShort) {
+		return fmt.Errorf("pipeline: write %s-%s: short write",
+			key.Stage, contentAddress(key, codecName, codecVersion))
+	}
+	stored := append([]byte(nil), data...)
+	s.mu.Lock()
+	s.data[contentAddress(key, codecName, codecVersion)] = stored
+	s.mu.Unlock()
+	return nil
+}
+
+// Delete removes the artifact under key; an absent artifact is not an
+// error.
+func (s *MemStore) Delete(key Key, codecName string, codecVersion uint32) error {
+	s.mu.Lock()
+	delete(s.data, contentAddress(key, codecName, codecVersion))
+	s.mu.Unlock()
+	return nil
+}
+
+// Audit verifies the frame of every stored artifact, visiting entries in
+// sorted address order so a multi-error store always reports the same
+// first failure.
+func (s *MemStore) Audit() error {
+	s.mu.RLock()
+	addrs := make([]string, 0, len(s.data))
+	for addr := range s.data {
+		//lint:ignore mapiter keys are fully sorted below before any artifact is visited.
+		addrs = append(addrs, addr)
+	}
+	s.mu.RUnlock()
+	sort.Strings(addrs)
+	for _, addr := range addrs {
+		s.mu.RLock()
+		data, ok := s.data[addr]
+		s.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		if err := CheckFrame(data); err != nil {
+			return fmt.Errorf("mem artifact %s: %w", addr, err)
+		}
+	}
+	return nil
+}
+
+// Len returns how many artifacts the store holds.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}

@@ -1,6 +1,9 @@
 // Package pipeline provides the staged-generation infrastructure behind
-// internal/gen: a typed stage abstraction plus a content-addressed on-disk
-// artifact store, instrumented for the internal/obs observability layer.
+// internal/gen: a typed stage abstraction plus a content-addressed
+// artifact store behind the pluggable Store interface — an atomic-rename
+// on-disk backend (DiskStore), an ephemeral in-memory backend (MemStore)
+// and a framed-TCP remote backend (RemoteStore + Serve) — instrumented for
+// the internal/obs observability layer.
 //
 // The generator is organized as four explicit stages — Enumerate (oracle →
 // rounding intervals), Reduce (intervals → merged constraint set), Solve
@@ -38,8 +41,7 @@ package pipeline
 
 import (
 	"context"
-	"os"
-	"path/filepath"
+	"fmt"
 
 	"repro/internal/fault"
 	"repro/internal/obs"
@@ -88,10 +90,19 @@ type Logf func(string, ...interface{})
 // Cancellation is checked at the stage boundary: a done ctx returns a
 // fault.Error with CodeCanceled before any probe or compute, so every
 // artifact already in the store stays valid and a rerun resumes from it.
-func Run[T any](ctx context.Context, st *Store, key Key, c Codec[T], logf Logf, compute func(context.Context) (T, error)) (value T, fromCache bool, err error) {
+//
+// Key validation happens before any probe: an empty Func, Stage or
+// Fingerprint component would alias distinct runs onto one content
+// address, so Run rejects it with a typed fault.Error (CodeStoreKey)
+// whether or not a store is attached.
+func Run[T any](ctx context.Context, st Store, key Key, c Codec[T], logf Logf, compute func(context.Context) (T, error)) (value T, fromCache bool, err error) {
 	if cerr := ctx.Err(); cerr != nil {
 		var zero T
 		return zero, false, fault.New(fault.CodeCanceled, key.Stage, "run", cerr).WithFunc(key.Func)
+	}
+	if kerr := key.validate(); kerr != nil {
+		var zero T
+		return zero, false, kerr
 	}
 	if logf == nil {
 		logf = func(string, ...interface{}) {}
@@ -103,18 +114,17 @@ func Run[T any](ctx context.Context, st *Store, key Key, c Codec[T], logf Logf, 
 		v, err := compute(ctx)
 		return v, false, err
 	}
-	path := st.path(key, c.Name, c.Version)
-	if data, ok := st.read(path); ok {
+	if data, ok := st.Get(key, c.Name, c.Version); ok {
 		v, derr := decodeArtifact(data, c)
 		if derr == nil {
 			st.record(key, true)
 			sp.Add(obs.CtrStoreHits, 1)
 			sp.Add(obs.CtrStoreBytesRead, int64(len(data)))
-			logf("cache: %s %s stage hit (%s)", key.Func, key.Stage, filepath.Base(path))
+			logf("cache: %s %s stage hit", key.Func, key.Stage)
 			return v, true, nil
 		}
 		logf("cache: %s %s stage: %v — regenerating", key.Func, key.Stage, derr)
-		_ = os.Remove(path)
+		_ = st.Delete(key, c.Name, c.Version)
 	}
 	st.record(key, false)
 	sp.Add(obs.CtrStoreMisses, 1)
@@ -126,12 +136,48 @@ func Run[T any](ctx context.Context, st *Store, key Key, c Codec[T], logf Logf, 
 	var e Enc
 	c.Encode(&e, v)
 	sealed := Seal(c.Name, c.Version, e.Bytes())
-	if werr := st.write(path, sealed); werr != nil {
+	if werr := st.Put(key, c.Name, c.Version, sealed); werr != nil {
 		logf("cache: %s %s stage: write failed: %v (continuing uncached)", key.Func, key.Stage, werr)
 	} else {
 		sp.Add(obs.CtrStoreBytesWritten, int64(len(sealed)))
 	}
 	return v, false, nil
+}
+
+// Probe answers "is this artifact already in the store?" without ever
+// computing: on a hit it decodes and returns the artifact (recording a hit
+// event, exactly like Run); on a miss, a nil store, or a corrupt artifact
+// (deleted, like Run) it reports ok=false and records nothing — a probe is
+// a peek, not a stage execution, so misses stay out of the event log. The
+// shard-claim assembler uses it to poll for work units computed by peer
+// processes before deciding to compute them locally.
+func Probe[T any](st Store, key Key, c Codec[T]) (value T, ok bool) {
+	var zero T
+	if st == nil || key.validate() != nil {
+		return zero, false
+	}
+	data, found := st.Get(key, c.Name, c.Version)
+	if !found {
+		return zero, false
+	}
+	v, derr := decodeArtifact(data, c)
+	if derr != nil {
+		_ = st.Delete(key, c.Name, c.Version)
+		return zero, false
+	}
+	st.record(key, true)
+	return v, true
+}
+
+// validate rejects keys with empty components: each would collapse
+// distinct artifacts onto one content address (an empty fingerprint, for
+// example, would alias every configuration of a stage).
+func (k Key) validate() error {
+	if k.Func == "" || k.Stage == "" || k.Fingerprint == "" {
+		return fault.New(fault.CodeStoreKey, k.Stage, "key",
+			fmt.Errorf("pipeline: artifact key %+v has an empty component", k)).WithFunc(k.Func)
+	}
+	return nil
 }
 
 // decodeArtifact unseals and decodes one stored artifact, insisting that

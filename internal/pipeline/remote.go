@@ -1,0 +1,259 @@
+package pipeline
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// remoteAttempts is the per-operation transport retry budget: the first
+// attempt plus reconnect-and-retry rounds. Transient failures (a dropped
+// connection, a truncated frame) recover inside the budget; a store that
+// stays unreachable degrades the same way a failing disk does — Get
+// becomes a miss, Put a typed store-io error — because caching is an
+// optimization, never a correctness dependency.
+const remoteAttempts = 3
+
+// DefaultRemoteTimeout bounds one remote operation (dial + request +
+// response) when DialRemote is given no explicit timeout.
+const DefaultRemoteTimeout = 30 * time.Second
+
+// RemoteStats counts the remote client's transport work. The counts are
+// deterministic for a fixed workload and injection plan — one round trip
+// per store operation attempt — and internal/cli records them into the
+// observability report under the store.remote.* counters.
+type RemoteStats struct {
+	RoundTrips int64 // completed request/response exchanges
+	Retries    int64 // transport failures that consumed a retry
+	BytesSent  int64 // framed request bytes written
+	BytesRecv  int64 // framed response bytes read
+}
+
+// RemoteStore is the framed-TCP client backend: every Get/Put/Delete/
+// Audit becomes one request/response exchange with an rlibm-store server
+// (see Serve), sealed in the same frames artifacts use on disk. One
+// connection is shared by all goroutines, one request in flight at a
+// time, with per-operation deadlines and a bounded reconnect-and-retry
+// budget. It implements Store, so a pipeline run through it is
+// bit-identical to a run through the disk store it fronts.
+type RemoteStore struct {
+	addr    string
+	timeout time.Duration
+
+	mu     sync.Mutex // serializes the connection and request IDs
+	conn   net.Conn
+	nextID uint64
+	closed bool
+
+	roundTrips atomic.Int64
+	retries    atomic.Int64
+	bytesSent  atomic.Int64
+	bytesRecv  atomic.Int64
+
+	faultGate
+	eventLog
+}
+
+// DialRemote returns a remote store speaking to the rlibm-store server at
+// addr (host:port). A non-positive timeout selects DefaultRemoteTimeout.
+// The initial connection is established eagerly so a bad address fails at
+// flag-parsing time, not mid-pipeline; later disconnects reconnect
+// transparently inside the per-op retry budget.
+func DialRemote(addr string, timeout time.Duration) (*RemoteStore, error) {
+	if timeout <= 0 {
+		timeout = DefaultRemoteTimeout
+	}
+	s := &RemoteStore{addr: addr, timeout: timeout}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: dial remote store %s: %w", addr, err)
+	}
+	s.conn = conn
+	return s, nil
+}
+
+// Addr returns the server address the store was dialed with.
+func (s *RemoteStore) Addr() string { return s.addr }
+
+// Stats returns a snapshot of the transport counters.
+func (s *RemoteStore) Stats() RemoteStats {
+	return RemoteStats{
+		RoundTrips: s.roundTrips.Load(),
+		Retries:    s.retries.Load(),
+		BytesSent:  s.bytesSent.Load(),
+		BytesRecv:  s.bytesRecv.Load(),
+	}
+}
+
+// Close closes the connection; subsequent operations fail without
+// reconnecting.
+func (s *RemoteStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	if s.conn != nil {
+		err := s.conn.Close()
+		s.conn = nil
+		return err
+	}
+	return nil
+}
+
+// exchange performs one request/response round trip under the connection
+// lock, reconnecting and retrying on transport failures up to the retry
+// budget. Injection: SiteRemoteConn drops the connection before the
+// request is written; SiteRemoteShort truncates the response frame so its
+// checksum cannot verify — both look like real network failures and are
+// retried the same way.
+func (s *RemoteStore) exchange(op byte, key Key, codecName string, codecVersion uint32, data []byte) (wireResponse, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var lastErr error
+	for attempt := 1; attempt <= remoteAttempts; attempt++ {
+		if attempt > 1 {
+			s.retries.Add(1)
+		}
+		resp, err := s.exchangeOnce(op, key, codecName, codecVersion, data)
+		if err == nil {
+			s.roundTrips.Add(1)
+			return resp, nil
+		}
+		lastErr = err
+		s.dropConnLocked()
+		if s.closed {
+			break
+		}
+	}
+	return wireResponse{}, fault.New(fault.CodeStoreIO, "store", string(opName(op)),
+		fmt.Errorf("remote store %s: %w", s.addr, lastErr)).WithFunc(key.Func).WithAttempt(remoteAttempts)
+}
+
+// exchangeOnce runs a single attempt over the current (or a fresh)
+// connection. The caller holds s.mu.
+func (s *RemoteStore) exchangeOnce(op byte, key Key, codecName string, codecVersion uint32, data []byte) (wireResponse, error) {
+	if s.closed {
+		return wireResponse{}, fmt.Errorf("store is closed")
+	}
+	if s.conn == nil {
+		conn, err := net.DialTimeout("tcp", s.addr, s.timeout)
+		if err != nil {
+			return wireResponse{}, err
+		}
+		s.conn = conn
+	}
+	if s.faults().Should(fault.SiteRemoteConn) {
+		s.dropConnLocked()
+		return wireResponse{}, fmt.Errorf("%v", fault.Injected(fault.SiteRemoteConn))
+	}
+	s.nextID++
+	id := s.nextID
+	req := encodeRequest(wireRequest{
+		ID: id, Op: op, Key: key, Codec: codecName, Version: codecVersion, Data: data,
+	})
+	// Deadlines bound one operation; the values never feed an artifact.
+	//lint:ignore wallclock per-op transport deadline; the clock value never influences generated coefficients.
+	deadline := time.Now().Add(s.timeout) //lint:ignore nondetflow the deadline reaches the conn only through SetDeadline; response bytes are server data, never clock-derived.
+	if err := s.conn.SetDeadline(deadline); err != nil {
+		return wireResponse{}, err
+	}
+	if err := writeFrame(s.conn, req); err != nil {
+		return wireResponse{}, err
+	}
+	s.bytesSent.Add(int64(len(req) + 4))
+	frame, err := readFrame(s.conn)
+	if err != nil {
+		return wireResponse{}, err
+	}
+	if s.faults().Should(fault.SiteRemoteShort) && len(frame) > 0 {
+		frame = frame[:len(frame)/2]
+	}
+	s.bytesRecv.Add(int64(len(frame) + 4))
+	resp, err := decodeResponse(frame)
+	if err != nil {
+		return wireResponse{}, err
+	}
+	if resp.ID != id || resp.Op != op {
+		return wireResponse{}, fmt.Errorf("response for request %d/op %d, want %d/op %d",
+			resp.ID, resp.Op, id, op)
+	}
+	return resp, nil
+}
+
+// dropConnLocked closes and forgets the connection. The caller holds s.mu.
+func (s *RemoteStore) dropConnLocked() {
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+}
+
+// opName renders an op for error context.
+func opName(op byte) string {
+	switch op {
+	case opGet:
+		return "remote-get"
+	case opPut:
+		return "remote-put"
+	case opDelete:
+		return "remote-delete"
+	case opAudit:
+		return "remote-audit"
+	}
+	return "remote-unknown"
+}
+
+// Get fetches the artifact under key from the server. Any transport or
+// server failure degrades to a miss — the stage recomputes, exactly as it
+// would over a failing disk.
+func (s *RemoteStore) Get(key Key, codecName string, codecVersion uint32) ([]byte, bool) {
+	resp, err := s.exchange(opGet, key, codecName, codecVersion, nil)
+	if err != nil || resp.Status != statusOK {
+		return nil, false
+	}
+	return resp.Data, true
+}
+
+// Put stores the artifact under key on the server. A transport failure
+// past the retry budget or a server-side write failure returns a typed
+// *fault.Error (CodeStoreIO); the stage runner logs it and continues
+// uncached.
+func (s *RemoteStore) Put(key Key, codecName string, codecVersion uint32, data []byte) error {
+	resp, err := s.exchange(opPut, key, codecName, codecVersion, data)
+	if err != nil {
+		return err
+	}
+	if resp.Status == statusErr {
+		return fault.New(fault.CodeStoreIO, "store", "remote-put",
+			fmt.Errorf("remote store %s: %s", s.addr, resp.Errmsg)).WithFunc(key.Func)
+	}
+	return nil
+}
+
+// Delete removes the artifact under key on the server.
+func (s *RemoteStore) Delete(key Key, codecName string, codecVersion uint32) error {
+	resp, err := s.exchange(opDelete, key, codecName, codecVersion, nil)
+	if err != nil {
+		return err
+	}
+	if resp.Status == statusErr {
+		return fault.New(fault.CodeStoreIO, "store", "remote-delete",
+			fmt.Errorf("remote store %s: %s", s.addr, resp.Errmsg)).WithFunc(key.Func)
+	}
+	return nil
+}
+
+// Audit asks the server to audit its backing store and relays the result.
+func (s *RemoteStore) Audit() error {
+	resp, err := s.exchange(opAudit, Key{Func: "audit", Stage: "audit", Fingerprint: "audit"}, "audit", 0, nil)
+	if err != nil {
+		return err
+	}
+	if resp.Status == statusErr {
+		return fmt.Errorf("pipeline: remote audit: %s", resp.Errmsg)
+	}
+	return nil
+}

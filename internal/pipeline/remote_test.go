@@ -1,0 +1,312 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// TestWireRoundTripProperty: requests and responses survive the wire
+// encoding byte-exactly, and any bit flip in a frame is rejected by the
+// seal, never misparsed.
+func TestWireRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		randStr := func() string {
+			b := make([]byte, 1+rng.Intn(12))
+			for i := range b {
+				b[i] = byte('a' + rng.Intn(26))
+			}
+			return string(b)
+		}
+		data := make([]byte, rng.Intn(64))
+		rng.Read(data)
+		req := wireRequest{
+			ID: rng.Uint64(), Op: byte(opGet + byte(rng.Intn(4))),
+			Key:   Key{Func: randStr(), Stage: randStr(), Fingerprint: randStr()},
+			Codec: randStr(), Version: rng.Uint32(), Data: data,
+		}
+		frame := encodeRequest(req)
+		got, err := decodeRequest(frame)
+		if err != nil || got.ID != req.ID || got.Op != req.Op || got.Key != req.Key ||
+			got.Codec != req.Codec || got.Version != req.Version || !bytes.Equal(got.Data, req.Data) {
+			return false
+		}
+		resp := wireResponse{
+			ID: rng.Uint64(), Op: req.Op, Status: byte(rng.Intn(3)),
+			Errmsg: randStr(), Data: data,
+		}
+		rframe := encodeResponse(resp)
+		rgot, err := decodeResponse(rframe)
+		if err != nil || rgot.ID != resp.ID || rgot.Status != resp.Status ||
+			rgot.Errmsg != resp.Errmsg || !bytes.Equal(rgot.Data, resp.Data) {
+			return false
+		}
+		// Any flipped bit fails the seal.
+		flipped := append([]byte(nil), frame...)
+		flipped[rng.Intn(len(flipped))] ^= 1 << uint(rng.Intn(8))
+		if _, err := decodeRequest(flipped); !errors.Is(err, ErrCorrupt) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireRejectsBadOpAndStatus(t *testing.T) {
+	bad := encodeRequest(wireRequest{ID: 1, Op: 99, Key: testKey(), Codec: "c", Version: 1})
+	if _, err := decodeRequest(bad); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("op 99: err = %v", err)
+	}
+	badResp := encodeResponse(wireResponse{ID: 1, Op: opGet, Status: 99})
+	if _, err := decodeResponse(badResp); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("status 99: err = %v", err)
+	}
+}
+
+// TestRemoteTransientFaultRecovers: a connection drop or a truncated
+// response frame at one scheduled occurrence is absorbed by the retry
+// budget — the operation succeeds, a retry is counted, and the stored
+// bytes come back byte-identical.
+func TestRemoteTransientFaultRecovers(t *testing.T) {
+	for _, site := range []fault.Site{fault.SiteRemoteConn, fault.SiteRemoteShort} {
+		site := site
+		t.Run(string(site), func(t *testing.T) {
+			rs := startRemote(t, NewMemStore())
+			sealed := Seal(testCodec.Name, testCodec.Version, []byte{1, 2, 3})
+			if err := rs.Put(testKey(), testCodec.Name, testCodec.Version, sealed); err != nil {
+				t.Fatalf("pre-fault put: %v", err)
+			}
+			plan := fault.NewPlan().At(site, 1)
+			rs.SetFaults(plan)
+			got, ok := rs.Get(testKey(), testCodec.Name, testCodec.Version)
+			if !ok || !bytes.Equal(got, sealed) {
+				t.Fatalf("faulted get: ok=%v bytes equal=%v", ok, bytes.Equal(got, sealed))
+			}
+			if plan.Count(site) == 0 {
+				t.Fatal("site never probed")
+			}
+			if rs.Stats().Retries == 0 {
+				t.Error("transient fault consumed no retry")
+			}
+			if err := rs.Audit(); err != nil {
+				t.Errorf("audit: %v", err)
+			}
+		})
+	}
+}
+
+// TestRemoteKeepsFiringFault: a remote fault that fires on every attempt
+// exhausts the retry budget. Get degrades to a miss (the stage recomputes
+// — bit-identical by determinism), Put fails with a typed CodeStoreIO
+// fault carrying the attempt budget, and disarming the plan restores full
+// service on the same client.
+func TestRemoteKeepsFiringFault(t *testing.T) {
+	rs := startRemote(t, NewMemStore())
+	sealed := Seal(testCodec.Name, testCodec.Version, []byte{7})
+	rs.SetFaults(fault.NewPlan().From(fault.SiteRemoteConn, 1))
+
+	if _, ok := rs.Get(testKey(), testCodec.Name, testCodec.Version); ok {
+		t.Fatal("get through a dead transport reported a hit")
+	}
+	err := rs.Put(testKey(), testCodec.Name, testCodec.Version, sealed)
+	if fault.CodeOf(err) != fault.CodeStoreIO {
+		t.Fatalf("put err = %v, want CodeStoreIO fault", err)
+	}
+	var fe *fault.Error
+	if !errors.As(err, &fe) || fe.Attempt != remoteAttempts {
+		t.Errorf("fault context = %+v, want attempt %d", fe, remoteAttempts)
+	}
+
+	rs.SetFaults(nil)
+	if err := rs.Put(testKey(), testCodec.Name, testCodec.Version, sealed); err != nil {
+		t.Fatalf("put after disarm: %v", err)
+	}
+	got, ok := rs.Get(testKey(), testCodec.Name, testCodec.Version)
+	if !ok || !bytes.Equal(got, sealed) {
+		t.Fatalf("get after disarm: ok=%v", ok)
+	}
+	if err := rs.Audit(); err != nil {
+		t.Errorf("audit after recovery: %v", err)
+	}
+}
+
+// TestRemoteRequestIDMismatch: a server that answers with the wrong
+// request ID has lost framing; the client must abandon the exchange
+// rather than accept the stray response.
+func TestRemoteRequestIDMismatch(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					frame, err := readFrame(conn)
+					if err != nil {
+						return
+					}
+					req, err := decodeRequest(frame)
+					if err != nil {
+						return
+					}
+					resp := wireResponse{ID: req.ID + 1, Op: req.Op, Status: statusOK}
+					if err := writeFrame(conn, encodeResponse(resp)); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	rs, err := DialRemote(l.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if _, ok := rs.Get(testKey(), testCodec.Name, testCodec.Version); ok {
+		t.Fatal("client accepted a response with the wrong request ID")
+	}
+	err = rs.Put(testKey(), testCodec.Name, testCodec.Version, []byte{1})
+	if fault.CodeOf(err) != fault.CodeStoreIO {
+		t.Fatalf("put err = %v, want CodeStoreIO fault", err)
+	}
+}
+
+// TestServeDropsMalformedFrame: a client that sends garbage loses its
+// connection (never a crash), and a well-behaved client on the same
+// server keeps working.
+func TestServeDropsMalformedFrame(t *testing.T) {
+	backing := NewMemStore()
+	rs := startRemote(t, backing)
+
+	raw, err := net.Dial("tcp", rs.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	if err := writeFrame(raw, []byte("this is not a sealed frame")); err != nil {
+		t.Fatal(err)
+	}
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := readFrame(raw); err == nil {
+		t.Error("server answered a malformed frame instead of dropping the connection")
+	}
+
+	sealed := Seal(testCodec.Name, testCodec.Version, []byte{9})
+	if err := rs.Put(testKey(), testCodec.Name, testCodec.Version, sealed); err != nil {
+		t.Fatalf("well-behaved client after malformed peer: %v", err)
+	}
+	if got, ok := rs.Get(testKey(), testCodec.Name, testCodec.Version); !ok || !bytes.Equal(got, sealed) {
+		t.Fatalf("get: ok=%v", ok)
+	}
+}
+
+// TestRemoteClosedClient: operations on a closed client fail without
+// reconnecting — Get degrades to a miss, Put returns the typed fault.
+func TestRemoteClosedClient(t *testing.T) {
+	rs := startRemote(t, NewMemStore())
+	if err := rs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rs.Get(testKey(), testCodec.Name, testCodec.Version); ok {
+		t.Error("get on a closed client reported a hit")
+	}
+	if err := rs.Put(testKey(), testCodec.Name, testCodec.Version, []byte{1}); fault.CodeOf(err) != fault.CodeStoreIO {
+		t.Errorf("put on a closed client: err = %v, want CodeStoreIO", err)
+	}
+}
+
+// TestRemoteRelaysAuditError: the server relays its backing store's audit
+// verdict, so a corrupted backing is visible to every client.
+func TestRemoteRelaysAuditError(t *testing.T) {
+	backing := NewMemStore()
+	rs := startRemote(t, backing)
+	if err := rs.Audit(); err != nil {
+		t.Fatalf("clean audit: %v", err)
+	}
+	// Store a frame that cannot verify (raw bytes, no seal) directly in the
+	// backing, bypassing the client.
+	if err := backing.Put(testKey(), "c", 1, []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Audit(); err == nil {
+		t.Error("remote audit missed a corrupt backing artifact")
+	}
+}
+
+// TestRemoteStatsCounters: the transport counters track round trips and
+// bytes for a deterministic workload.
+func TestRemoteStatsCounters(t *testing.T) {
+	rs := startRemote(t, NewMemStore())
+	sealed := Seal(testCodec.Name, testCodec.Version, []byte{1, 2, 3, 4})
+	if err := rs.Put(testKey(), testCodec.Name, testCodec.Version, sealed); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rs.Get(testKey(), testCodec.Name, testCodec.Version); !ok {
+		t.Fatal("get missed")
+	}
+	st := rs.Stats()
+	if st.RoundTrips != 2 {
+		t.Errorf("RoundTrips = %d, want 2", st.RoundTrips)
+	}
+	if st.Retries != 0 {
+		t.Errorf("Retries = %d, want 0", st.Retries)
+	}
+	if st.BytesSent == 0 || st.BytesRecv == 0 {
+		t.Errorf("byte counters not recorded: %+v", st)
+	}
+}
+
+// TestRunThroughRemoteMatchesDisk is the location-independence check at
+// the byte level: the same compute run through a remote store and a disk
+// store produces identical sealed artifacts, and a Get through the remote
+// returns exactly the bytes the backing holds.
+func TestRunThroughRemoteMatchesDisk(t *testing.T) {
+	want := []float64{3.25, -7, 0.5}
+	compute := func(context.Context) ([]float64, error) { return want, nil }
+
+	disk, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Run(context.Background(), disk, testKey(), testCodec, nil, compute); err != nil {
+		t.Fatal(err)
+	}
+	diskBytes, ok := disk.Get(testKey(), testCodec.Name, testCodec.Version)
+	if !ok {
+		t.Fatal("disk artifact missing")
+	}
+
+	backing := NewMemStore()
+	rs := startRemote(t, backing)
+	if _, _, err := Run(context.Background(), rs, testKey(), testCodec, nil, compute); err != nil {
+		t.Fatal(err)
+	}
+	remoteBytes, ok := rs.Get(testKey(), testCodec.Name, testCodec.Version)
+	if !ok {
+		t.Fatal("remote artifact missing")
+	}
+	if !bytes.Equal(diskBytes, remoteBytes) {
+		t.Error("remote-stored artifact differs from disk-stored artifact")
+	}
+	backingBytes, ok := backing.Get(testKey(), testCodec.Name, testCodec.Version)
+	if !ok || !bytes.Equal(backingBytes, remoteBytes) {
+		t.Error("backing bytes differ from the bytes the client round-tripped")
+	}
+}

@@ -1,0 +1,95 @@
+package pipeline
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// Serve exposes a backing store over the framed-TCP wire protocol until
+// the listener is closed: it accepts connections and answers each
+// request — Get, Put, Delete, Audit — against backing, sealing every
+// response in the same frames artifacts use on disk. The server is a thin
+// relay: it never unseals artifact payloads (only the protocol envelope),
+// so a byte stored through it is the byte a Get returns, and every
+// consistency property — atomic publication, audit, corruption detection —
+// is the backing store's. cmd/rlibm-store wraps it behind a disk store;
+// tests run it in-process over a loopback listener.
+//
+// A connection serves requests sequentially and is dropped on the first
+// malformed frame (the client's retry budget re-establishes it). Serve
+// returns once the listener is closed, after in-flight connections have
+// drained; the returned error is nil on a clean shutdown.
+func Serve(l net.Listener, backing Store, logf Logf) error {
+	if logf == nil {
+		logf = func(string, ...interface{}) {}
+	}
+	var wg sync.WaitGroup
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			wg.Wait()
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			serveConn(conn, backing, logf)
+		}()
+	}
+}
+
+// serveConn answers one connection's requests until it errors or closes.
+func serveConn(conn net.Conn, backing Store, logf Logf) {
+	defer conn.Close()
+	peer := conn.RemoteAddr().String()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return // peer closed or lost framing; nothing to answer
+		}
+		req, err := decodeRequest(frame)
+		if err != nil {
+			logf("store-serve: %s: malformed request: %v — dropping connection", peer, err)
+			return
+		}
+		resp := handleRequest(backing, req)
+		if err := writeFrame(conn, encodeResponse(resp)); err != nil {
+			logf("store-serve: %s: write response: %v", peer, err)
+			return
+		}
+	}
+}
+
+// handleRequest dispatches one decoded request against the backing store.
+func handleRequest(backing Store, req wireRequest) wireResponse {
+	resp := wireResponse{ID: req.ID, Op: req.Op, Status: statusOK}
+	switch req.Op {
+	case opGet:
+		data, ok := backing.Get(req.Key, req.Codec, req.Version)
+		if !ok {
+			resp.Status = statusMiss
+			break
+		}
+		resp.Data = data
+	case opPut:
+		if err := backing.Put(req.Key, req.Codec, req.Version, req.Data); err != nil {
+			resp.Status = statusErr
+			resp.Errmsg = err.Error()
+		}
+	case opDelete:
+		if err := backing.Delete(req.Key, req.Codec, req.Version); err != nil {
+			resp.Status = statusErr
+			resp.Errmsg = err.Error()
+		}
+	case opAudit:
+		if err := backing.Audit(); err != nil {
+			resp.Status = statusErr
+			resp.Errmsg = err.Error()
+		}
+	}
+	return resp
+}

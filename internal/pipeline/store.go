@@ -1,30 +1,56 @@
 package pipeline
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
-	"io"
-	"io/fs"
-	"os"
-	"path/filepath"
-	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fault"
 )
 
-// Store is a content-addressed on-disk artifact store. It is safe for
-// concurrent use; every write is staged into a temporary file in the
-// destination directory and atomically renamed into place, so readers
-// never observe a partial artifact and an interrupted run leaves at most
-// an orphaned temp file behind.
-type Store struct {
-	dir    string
-	faults *fault.Plan
+// Store is the artifact-store seam of the staged pipeline: a
+// content-addressed byte store for sealed artifact frames, plus the
+// probe-event log that tests and tooling use to assert which stages were
+// served from cache. Three backends implement it — the atomic-rename
+// on-disk store (DiskStore), the ephemeral in-memory store (MemStore) and
+// the framed-TCP client (RemoteStore) — and because the sealed-frame codec
+// makes artifacts location-independent, a pipeline run produces
+// bit-identical results through any of them.
+//
+// All methods must be safe for concurrent use; Get must never observe a
+// partial Put (backends stage writes and publish atomically). The
+// interface is deliberately sealed to this package via the unexported
+// record method: every backend shares one event-log and fault-injection
+// implementation, so their observable behavior can be pinned by one
+// backend-matrix test.
+type Store interface {
+	// Get returns the sealed artifact bytes stored under the key and codec
+	// identity, reporting ok=false on any miss or read failure (caching is
+	// an optimization, never a correctness dependency).
+	Get(key Key, codecName string, codecVersion uint32) ([]byte, bool)
+	// Put stores sealed artifact bytes under the key and codec identity,
+	// atomically: a failed or interrupted Put leaves either the previous
+	// artifact or none, never a partial one.
+	Put(key Key, codecName string, codecVersion uint32, data []byte) error
+	// Delete removes the artifact under the key and codec identity (the
+	// stage runner deletes corrupt artifacts before regenerating).
+	// Deleting an absent artifact is not an error.
+	Delete(key Key, codecName string, codecVersion uint32) error
+	// Audit reports the first ill-formed entry in the store: a lingering
+	// temp file, a foreign file, or an artifact whose frame checksum does
+	// not verify. The fault-matrix tests run it after every scenario.
+	Audit() error
+	// SetFaults installs a fault-injection plan on the backend's probe
+	// sites (see internal/fault); nil — the default — disables injection.
+	// The swap is atomic, so it may race with in-flight operations without
+	// tripping the race detector, but for deterministic injection install
+	// the plan before any pipeline runs share the store.
+	SetFaults(*fault.Plan)
 
-	mu     sync.Mutex
-	events []Event
+	// The probe-event log, shared by all backends (see eventLog).
+	Events() []Event
+	ResetEvents()
+	CountEvents(stage string, hit bool) int
+	record(key Key, hit bool)
 }
 
 // Event records one stage-cache probe; tests and tooling use the event
@@ -34,154 +60,63 @@ type Event struct {
 	Hit bool
 }
 
-// Open returns a store rooted at dir, creating it if needed.
-func Open(dir string) (*Store, error) {
-	if dir == "" {
-		return nil, fmt.Errorf("pipeline: empty store directory")
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("pipeline: open store: %w", err)
-	}
-	return &Store{dir: dir}, nil
-}
-
-// Dir returns the store's root directory.
-func (s *Store) Dir() string { return s.dir }
-
-// SetFaults installs a fault-injection plan on the store's read and write
-// paths (see internal/fault). A nil plan — the default — disables
-// injection. Set before any pipeline runs share the store.
-func (s *Store) SetFaults(p *fault.Plan) { s.faults = p }
-
-// path derives the content address of an artifact: a hash of every key
-// component plus the codec identity, laid out as one directory per
-// function with human-scannable "<stage>-<address>.art" file names.
-func (s *Store) path(key Key, codecName string, codecVersion uint32) string {
-	sum := sha256.Sum256([]byte(fmt.Sprintf("%s\x00%s\x00%s\x00%s\x00%d",
-		key.Func, key.Stage, key.Fingerprint, codecName, codecVersion)))
-	return filepath.Join(s.dir, key.Func,
-		fmt.Sprintf("%s-%s.art", key.Stage, hex.EncodeToString(sum[:12])))
-}
-
-// read returns the artifact bytes at path, reporting ok=false on any
-// error (most commonly: not cached yet). Injection: SiteStoreRead turns
-// the read into a miss; SiteStoreBitFlip corrupts one byte of the
-// returned copy so the frame checksum must catch it.
-func (s *Store) read(path string) ([]byte, bool) {
-	if s.faults.Should(fault.SiteStoreRead) {
-		return nil, false
-	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, false
-	}
-	if s.faults.Should(fault.SiteStoreBitFlip) && len(data) > 0 {
-		data[len(data)/2] ^= 0x01
-	}
-	return data, true
-}
-
-// write stores data at path atomically: temp file in the same directory,
-// then rename into place. Injection: SiteStoreWrite fails before any
-// byte is staged; SiteStoreWriteShort persists only a prefix of the temp
-// file and then fails like a full disk would — in both cases nothing is
-// renamed into place, so no partial artifact can ever be read back.
-func (s *Store) write(path string, data []byte) error {
-	if s.faults.Should(fault.SiteStoreWrite) {
-		return fault.Injected(fault.SiteStoreWrite)
-	}
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	if s.faults.Should(fault.SiteStoreWriteShort) {
-		_, _ = tmp.Write(data[:len(data)/2])
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("pipeline: write %s: %w", filepath.Base(path), io.ErrShortWrite)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
-}
-
-// Audit walks the store and reports the first ill-formed entry: a
-// lingering temp file, a non-artifact file, or an artifact whose frame
-// checksum does not verify. The fault-matrix tests run it after every
-// scenario to prove no failure mode leaves a corrupt or partially
-// written artifact behind.
-func (s *Store) Audit() error {
-	return filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			return nil
-		}
-		name := d.Name()
-		if strings.Contains(name, ".tmp") {
-			return fmt.Errorf("pipeline: leftover temp file %s", path)
-		}
-		if !strings.HasSuffix(name, ".art") {
-			return fmt.Errorf("pipeline: foreign file %s in store", path)
-		}
-		data, rerr := os.ReadFile(path)
-		if rerr != nil {
-			return rerr
-		}
-		if cerr := CheckFrame(data); cerr != nil {
-			return fmt.Errorf("%s: %w", path, cerr)
-		}
-		return nil
-	})
+// eventLog is the probe-event log every backend embeds. All methods are
+// mutex-guarded and safe for concurrent use.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
 }
 
 // record appends one probe outcome to the event log.
-func (s *Store) record(key Key, hit bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.events = append(s.events, Event{Key: key, Hit: hit})
+func (l *eventLog) record(key Key, hit bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Key: key, Hit: hit})
 }
 
 // Events returns a copy of the probe log, in probe order.
-func (s *Store) Events() []Event {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]Event(nil), s.events...)
+func (l *eventLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
 }
 
 // ResetEvents clears the probe log.
-func (s *Store) ResetEvents() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.events = nil
+func (l *eventLog) ResetEvents() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = nil
 }
 
 // CountEvents returns how many probes of the given stage had the given
 // outcome ("" matches every stage).
-func (s *Store) CountEvents(stage string, hit bool) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (l *eventLog) CountEvents(stage string, hit bool) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	n := 0
-	for _, e := range s.events {
+	for _, e := range l.events {
 		if (stage == "" || e.Key.Stage == stage) && e.Hit == hit {
 			n++
 		}
 	}
 	return n
 }
+
+// faultGate holds a backend's fault-injection plan behind an atomic
+// pointer, so SetFaults may be called while other goroutines probe the
+// store (tests arm and disarm plans between runs) without a data race.
+type faultGate struct {
+	plan atomic.Pointer[fault.Plan]
+}
+
+// SetFaults installs (or, with nil, removes) the injection plan.
+func (g *faultGate) SetFaults(p *fault.Plan) {
+	if p == nil {
+		g.plan.Store(nil)
+		return
+	}
+	g.plan.Store(p)
+}
+
+// faults returns the installed plan; nil (never injects) by default.
+func (g *faultGate) faults() *fault.Plan { return g.plan.Load() }

@@ -1,0 +1,156 @@
+package pipeline
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The remote-store wire protocol. Every message — request or response —
+// is one sealed frame (the same Seal/Unseal framing artifacts use on
+// disk, codec "store-wire" v1, so transport corruption is caught by the
+// frame checksum) carried behind a fixed 4-byte little-endian length
+// prefix. Requests carry a client-chosen request ID that the response
+// must echo; a mismatch means the connection lost framing and the client
+// abandons it. The payload encoding is the deterministic artifact codec
+// (fixed-width little-endian), so the protocol inherits the pipeline's
+// byte-exactness: a Get answers the same bytes Put stored, and those
+// bytes are location-independent sealed artifacts.
+
+const (
+	// wireCodecName/wireCodecVersion seal every protocol message. Bump the
+	// version on any message-layout change; mixed versions then fail the
+	// Unseal identity check instead of misparsing.
+	wireCodecName    = "store-wire"
+	wireCodecVersion = 1
+
+	// maxWireFrame bounds a single message (1 GiB): larger length
+	// prefixes are protocol corruption, rejected before any allocation.
+	maxWireFrame = 1 << 30
+)
+
+// Remote-store operations.
+const (
+	opGet byte = iota + 1
+	opPut
+	opDelete
+	opAudit
+)
+
+// Response statuses.
+const (
+	statusOK byte = iota
+	statusMiss
+	statusErr
+)
+
+// wireRequest is one client request.
+type wireRequest struct {
+	ID      uint64
+	Op      byte
+	Key     Key
+	Codec   string
+	Version uint32
+	Data    []byte // Put payload; empty otherwise
+}
+
+// wireResponse is one server response.
+type wireResponse struct {
+	ID     uint64
+	Op     byte
+	Status byte
+	Errmsg string // statusErr only
+	Data   []byte // Get payload; empty otherwise
+}
+
+func encodeRequest(r wireRequest) []byte {
+	var e Enc
+	e.U64(r.ID)
+	e.Byte(r.Op)
+	e.Str(r.Key.Func)
+	e.Str(r.Key.Stage)
+	e.Str(r.Key.Fingerprint)
+	e.Str(r.Codec)
+	e.U32(r.Version)
+	e.Blob(r.Data)
+	return Seal(wireCodecName, wireCodecVersion, e.Bytes())
+}
+
+func decodeRequest(frame []byte) (wireRequest, error) {
+	payload, err := Unseal(frame, wireCodecName, wireCodecVersion)
+	if err != nil {
+		return wireRequest{}, err
+	}
+	d := NewDec(payload)
+	r := wireRequest{ID: d.U64(), Op: d.Byte()}
+	r.Key.Func = d.Str()
+	r.Key.Stage = d.Str()
+	r.Key.Fingerprint = d.Str()
+	r.Codec = d.Str()
+	r.Version = d.U32()
+	r.Data = d.Blob()
+	if err := d.Done(); err != nil {
+		return wireRequest{}, err
+	}
+	if r.Op < opGet || r.Op > opAudit {
+		return wireRequest{}, fmt.Errorf("%w: unknown op %d", ErrCorrupt, r.Op)
+	}
+	return r, nil
+}
+
+func encodeResponse(r wireResponse) []byte {
+	var e Enc
+	e.U64(r.ID)
+	e.Byte(r.Op)
+	e.Byte(r.Status)
+	e.Str(r.Errmsg)
+	e.Blob(r.Data)
+	return Seal(wireCodecName, wireCodecVersion, e.Bytes())
+}
+
+func decodeResponse(frame []byte) (wireResponse, error) {
+	payload, err := Unseal(frame, wireCodecName, wireCodecVersion)
+	if err != nil {
+		return wireResponse{}, err
+	}
+	d := NewDec(payload)
+	r := wireResponse{ID: d.U64(), Op: d.Byte(), Status: d.Byte()}
+	r.Errmsg = d.Str()
+	r.Data = d.Blob()
+	if err := d.Done(); err != nil {
+		return wireResponse{}, err
+	}
+	if r.Status > statusErr {
+		return wireResponse{}, fmt.Errorf("%w: unknown status %d", ErrCorrupt, r.Status)
+	}
+	return r, nil
+}
+
+// writeFrame writes one length-prefixed message to w.
+func writeFrame(w io.Writer, frame []byte) error {
+	var prefix [4]byte
+	binary.LittleEndian.PutUint32(prefix[:], uint32(len(frame)))
+	if _, err := w.Write(prefix[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(frame)
+	return err
+}
+
+// readFrame reads one length-prefixed message from r, bounding the length
+// before allocating.
+func readFrame(r io.Reader) ([]byte, error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(prefix[:])
+	if n > maxWireFrame {
+		return nil, fmt.Errorf("%w: wire frame of %d bytes exceeds the %d-byte cap", ErrCorrupt, n, maxWireFrame)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return frame, nil
+}

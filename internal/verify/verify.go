@@ -105,6 +105,17 @@ func sweep(f fp.Format, modes []fp.Mode, orc *oracle.Oracle, workers int, n uint
 	// Merge in shard order: the shards partition the ascending work list,
 	// so concatenating mismatch lists (capped like the serial sweep)
 	// reproduces the serial reports exactly.
+	return MergeReports(f, modes, per)
+}
+
+// MergeReports merges per-slice report sets produced over an ascending
+// partition of one work list — the same merge sweep applies to its
+// worker-pool shards, exported for the distributed assembler in
+// internal/cli. Each element of per holds one Report per mode, in mode
+// order. Because the slices partition the ascending input space and the
+// mismatch cap is applied in slice order, the merged reports are
+// bit-identical to a serial sweep for any partition.
+func MergeReports(f fp.Format, modes []fp.Mode, per [][]Report) []Report {
 	merged := make([]Report, len(modes))
 	for i, m := range modes {
 		merged[i] = Report{Format: f, Mode: m}
@@ -222,7 +233,24 @@ func Repair(res *gen.Result, orc *oracle.Oracle, workers int) (int, error) {
 // over up to workers goroutines.
 func ExhaustiveLevel(res *gen.Result, orc *oracle.Oracle, li int, modes []fp.Mode, workers int) []Report {
 	lvl := res.Levels[li]
-	return sweep(lvl, modes, orc, workers, lvl.NumValues(),
-		func(i uint64) uint64 { return i },
+	return ExhaustiveLevelRange(res, orc, li, modes, workers, 0, lvl.NumValues())
+}
+
+// ExhaustiveLevelRange verifies the contiguous input slice [lo, hi) of one
+// level of a generated result — the work unit of distributed verification:
+// a full level sweep is the shard-order concatenation of its slice sweeps,
+// so per-slice reports merged in ascending slice order are bit-identical
+// to ExhaustiveLevel's (the same merge the worker pool already performs
+// within one process).
+func ExhaustiveLevelRange(res *gen.Result, orc *oracle.Oracle, li int, modes []fp.Mode, workers int, lo, hi uint64) []Report {
+	lvl := res.Levels[li]
+	if hi > lvl.NumValues() {
+		hi = lvl.NumValues()
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return sweep(lvl, modes, orc, workers, hi-lo,
+		func(i uint64) uint64 { return lo + i },
 		func(x float64, m fp.Mode) uint64 { return res.Eval(x, li, lvl, m) })
 }
