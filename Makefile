@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check check-fault check-store test race bench bench-parallel bench-pipeline bench-obs bench-eval vet build lint lint-json report
+.PHONY: check check-fault check-store check-serve test race bench bench-parallel bench-pipeline bench-obs bench-eval bench-serve vet build lint lint-json report
 
 check:
 	@echo '== vet =='
@@ -18,6 +18,8 @@ check:
 	@$(MAKE) --no-print-directory check-fault
 	@echo '== check-store =='
 	@$(MAKE) --no-print-directory check-store
+	@echo '== check-serve =='
+	@$(MAKE) --no-print-directory check-serve
 	@echo '== race =='
 	@$(MAKE) --no-print-directory race
 	@echo '== check: all stages passed =='
@@ -56,11 +58,18 @@ check-fault:
 # each scenario dump its post-run audit verdict and store event log there.
 STORE_WORKERS ?= 2
 STORE_FAULTS ?= on
-STORE_RUN_on  = TestBackend|TestTwoProcessShardClaim|TestShardStaleClaim|TestRemote|TestWire|TestServe|TestEventLog|TestSetFaults|TestRunRejectsEmptyKey|TestRunThroughRemote
-STORE_RUN_off = TestBackendBitIdentity|TestBackendMatrixColdWarm|TestTwoProcessShardClaim|TestEventLogConcurrency|TestWireRoundTrip|TestRunThroughRemoteMatchesDisk
+STORE_RUN_on  = TestBackend|TestTwoProcessShardClaim|TestShard|TestRemote|TestWire|TestServe|TestEventLog|TestSetFaults|TestRunRejectsEmptyKey|TestRunThroughRemote
+STORE_RUN_off = TestBackendBitIdentity|TestBackendMatrixColdWarm|TestTwoProcessShardClaim|TestShardHeartbeat|TestShardDeadPeer|TestShardLivePeer|TestEventLogConcurrency|TestWireRoundTrip|TestRunThroughRemoteMatchesDisk
 check-store:
 	RLIBM_STORE_WORKERS=$(STORE_WORKERS) $(GO) test -race -timeout 15m \
 		-run '$(STORE_RUN_$(STORE_FAULTS))' ./internal/pipeline/ ./internal/cli/
+
+# The serving gate: drain completes admitted requests bit-identically,
+# overload sheds typed 429s with no goroutine leaks, hot reload never
+# serves a mixed generation, and both endpoints answer libm's exact bits
+# (DESIGN.md §13). Loopback only; -race is part of the contract.
+check-serve:
+	$(GO) test -race -timeout 10m ./internal/serve/
 
 test:
 	$(GO) test ./...
@@ -94,6 +103,25 @@ bench-obs:
 # BENCH_eval.json).
 bench-eval:
 	$(GO) test -bench '^BenchmarkEval$$' -run '^$$' -benchtime 3000x -count 3 .
+
+# Serving-service latency: start rlibm-serve on loopback, drive it with the
+# closed-loop generator over the binary bulk endpoint, write p50/p90/p99
+# into BENCH_serve.json, then SIGTERM the server and require a clean drain
+# (the numbers behind BENCH_serve.json).
+bench-serve:
+	$(eval SERVE_DIR := $(shell mktemp -d))
+	$(GO) build -o $(SERVE_DIR)/rlibm-serve ./cmd/rlibm-serve
+	$(GO) build -o $(SERVE_DIR)/rlibm-bench-serve ./cmd/rlibm-bench-serve
+	$(SERVE_DIR)/rlibm-serve -listen 127.0.0.1:8093 -bulk-listen 127.0.0.1:8094 & \
+	  srv=$$!; \
+	  sleep 1; \
+	  $(SERVE_DIR)/rlibm-bench-serve -addr 127.0.0.1:8094 -bulk \
+	    -func exp2 -format F16,8 -batch 256 -concurrency 4 -duration 5s \
+	    -out BENCH_serve.json; \
+	  bench=$$?; \
+	  kill -TERM $$srv; wait $$srv; drained=$$?; \
+	  rm -rf $(SERVE_DIR); \
+	  test $$bench -eq 0 && test $$drained -eq 0
 
 # Generate a small function with observability on and show the run report:
 # the span tree renders to stderr (-v) and report.json lands next to the

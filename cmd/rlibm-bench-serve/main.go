@@ -1,0 +1,274 @@
+// Command rlibm-bench-serve is the load generator for rlibm-serve: a
+// fixed number of closed-loop workers hammer the HTTP/JSON endpoint (or
+// the framed bulk endpoint with -bulk) for a fixed duration, then the
+// latency distribution — p50/p90/p99, throughput, shed rate — is printed
+// and optionally written as BENCH_serve.json (-out).
+//
+// The workload is deterministic for a given -seed: every worker draws its
+// input bit patterns from its own seeded stream, so two runs against the
+// same server issue the same requests. Typed 429s (serve-overload) are
+// counted separately from hard failures — under deliberate overload they
+// are the server working as designed, and the shed rate is itself a
+// result.
+//
+// Typical use:
+//
+//	rlibm-serve -listen :8080 -bulk-listen :8081 &
+//	rlibm-bench-serve -addr localhost:8080 -duration 10s -concurrency 8
+//	rlibm-bench-serve -addr localhost:8081 -bulk -batch 256 -out BENCH_serve.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/bigmath"
+	"repro/internal/fp"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "server address (HTTP endpoint, or bulk endpoint with -bulk)")
+		bulk     = flag.Bool("bulk", false, "drive the framed binary bulk endpoint instead of HTTP/JSON")
+		fnName   = flag.String("func", "log2", "function to request")
+		format   = flag.String("format", "F16,8", "format to request")
+		mode     = flag.String("mode", "rn", "rounding mode to request")
+		batch    = flag.Int("batch", 64, "inputs per request")
+		conc     = flag.Int("concurrency", 4, "closed-loop worker count")
+		duration = flag.Duration("duration", 5*time.Second, "how long to generate load")
+		seed     = flag.Int64("seed", 1, "seed of the deterministic input streams")
+		out      = flag.String("out", "", "write the result as JSON to this file (e.g. BENCH_serve.json)")
+	)
+	flag.Parse()
+	fn, err := bigmath.ParseFunc(*fnName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := fp.ParseFormat(*format)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := fp.ParseMode(*mode); err != nil {
+		log.Fatal(err)
+	}
+	if *batch < 1 || *conc < 1 {
+		log.Fatal("invalid -batch/-concurrency: must be at least 1")
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		shed      int64
+		failures  int64
+	)
+	deadline := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			send := newSender(*bulk, *addr, fn, f, *fnName, *format, *mode)
+			var lats []time.Duration
+			var wshed, wfail int64
+			for time.Now().Before(deadline) {
+				inputs := make([]uint64, *batch)
+				for i := range inputs {
+					inputs[i] = rng.Uint64() % f.NumValues()
+				}
+				start := time.Now()
+				err := send(inputs)
+				lat := time.Since(start)
+				switch {
+				case err == nil:
+					lats = append(lats, lat)
+				case isShed(err):
+					wshed++
+				default:
+					wfail++
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, lats...)
+			shed += wshed
+			failures += wfail
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	if len(latencies) == 0 {
+		log.Fatalf("no request succeeded (%d shed, %d failed): is rlibm-serve running on %s?", shed, failures, *addr)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	total := int64(len(latencies)) + shed + failures
+	res := benchResult{
+		Benchmark: "rlibm-serve closed-loop latency: " + endpointName(*bulk),
+		Command:   "rlibm-bench-serve",
+		Config: benchConfig{
+			Endpoint: endpointName(*bulk), Func: *fnName, Format: *format, Mode: *mode,
+			Batch: *batch, Concurrency: *conc, Duration: duration.String(), Seed: *seed,
+		},
+		Environment: benchEnv{Go: runtime.Version(), LogicalCPUs: runtime.NumCPU()},
+		Results: benchNumbers{
+			Requests:      total,
+			OK:            int64(len(latencies)),
+			Shed:          shed,
+			Failures:      failures,
+			ThroughputRPS: round2(float64(len(latencies)) / duration.Seconds()),
+			InputsPerSec:  round2(float64(len(latencies)) * float64(*batch) / duration.Seconds()),
+			P50Micros:     round2(float64(pct(0.50)) / 1e3),
+			P90Micros:     round2(float64(pct(0.90)) / 1e3),
+			P99Micros:     round2(float64(pct(0.99)) / 1e3),
+			MaxMicros:     round2(float64(latencies[len(latencies)-1]) / 1e3),
+		},
+	}
+	fmt.Printf("rlibm-bench-serve: %d ok %d shed %d failed  p50=%.1fµs p90=%.1fµs p99=%.1fµs  %.0f req/s\n",
+		res.Results.OK, shed, failures, res.Results.P50Micros, res.Results.P90Micros,
+		res.Results.P99Micros, res.Results.ThroughputRPS)
+	if failures > 0 {
+		defer os.Exit(1)
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("rlibm-bench-serve: wrote %s\n", *out)
+	}
+}
+
+// newSender returns the per-worker request function for the chosen
+// endpoint. Bulk workers hold one connection each (reconnecting after a
+// hard error); HTTP workers share Go's keep-alive pool.
+func newSender(bulk bool, addr string, fn bigmath.Func, f fp.Format, fnName, format, mode string) func([]uint64) error {
+	if bulk {
+		m, _ := fp.ParseMode(mode)
+		var c *serve.BulkClient
+		return func(inputs []uint64) error {
+			if c == nil {
+				var err error
+				if c, err = serve.DialBulk(addr); err != nil {
+					return err
+				}
+			}
+			_, err := c.Eval(serve.Request{Fn: fn, Out: f, Mode: m, Inputs: inputs})
+			if err != nil {
+				if _, ok := err.(*serve.BulkError); !ok {
+					c.Close()
+					c = nil // hard transport error: reconnect next request
+				}
+			}
+			return err
+		}
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	url := "http://" + addr + "/eval"
+	type payload struct {
+		Func   string   `json:"func"`
+		Format string   `json:"format"`
+		Mode   string   `json:"mode"`
+		Inputs []uint64 `json:"inputs"`
+	}
+	return func(inputs []uint64) error {
+		body, err := json.Marshal(payload{Func: fnName, Format: format, Mode: mode, Inputs: inputs})
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return errShed
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("http %d", resp.StatusCode)
+		}
+		return nil
+	}
+}
+
+// errShed marks an HTTP 429 so both endpoints classify sheds uniformly.
+var errShed = fmt.Errorf("shed")
+
+// isShed reports whether err is a typed overload shed (HTTP 429 or a bulk
+// serve-overload).
+func isShed(err error) bool {
+	if err == errShed {
+		return true
+	}
+	if be, ok := err.(*serve.BulkError); ok {
+		return be.Code == "serve-overload"
+	}
+	return false
+}
+
+func endpointName(bulk bool) string {
+	if bulk {
+		return "bulk"
+	}
+	return "http"
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+
+// benchResult is the BENCH_serve.json layout, following the shape of the
+// other BENCH_*.json files in the repo.
+type benchResult struct {
+	Benchmark   string       `json:"benchmark"`
+	Command     string       `json:"command"`
+	Config      benchConfig  `json:"config"`
+	Environment benchEnv     `json:"environment"`
+	Results     benchNumbers `json:"results"`
+}
+
+type benchConfig struct {
+	Endpoint    string `json:"endpoint"`
+	Func        string `json:"func"`
+	Format      string `json:"format"`
+	Mode        string `json:"mode"`
+	Batch       int    `json:"batch"`
+	Concurrency int    `json:"concurrency"`
+	Duration    string `json:"duration"`
+	Seed        int64  `json:"seed"`
+}
+
+type benchEnv struct {
+	Go          string `json:"go"`
+	LogicalCPUs int    `json:"logical_cpus"`
+}
+
+type benchNumbers struct {
+	Requests      int64   `json:"requests"`
+	OK            int64   `json:"ok"`
+	Shed          int64   `json:"shed"`
+	Failures      int64   `json:"failures"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	InputsPerSec  float64 `json:"inputs_per_sec"`
+	P50Micros     float64 `json:"p50_us"`
+	P90Micros     float64 `json:"p90_us"`
+	P99Micros     float64 `json:"p99_us"`
+	MaxMicros     float64 `json:"max_us"`
+}

@@ -30,6 +30,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/cli"
 	"repro/internal/pipeline"
@@ -40,9 +41,17 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:7070", "TCP address to serve the store on")
 		cacheDir = flag.String("cache-dir", cli.DefaultCacheDir(), "artifact cache directory backing the served store")
 		mem      = flag.Bool("mem", false, "serve an ephemeral in-memory store instead of the disk cache")
+		maxConns = flag.Int("max-conns", 64, "maximum concurrently served connections (0 = unlimited)")
+		idle     = flag.Duration("idle-timeout", 2*time.Minute, "drop a connection idle for this long (0 = never)")
 		verbose  = flag.Bool("v", false, "log per-connection protocol errors")
 	)
 	flag.Parse()
+	if *maxConns < 0 {
+		log.Fatalf("invalid -max-conns %d: must be at least 0 (0 = unlimited)", *maxConns)
+	}
+	if *idle < 0 {
+		log.Fatalf("invalid -idle-timeout %v: must be at least 0 (0 = never)", *idle)
+	}
 
 	var backing pipeline.Store
 	if *mem {
@@ -81,7 +90,8 @@ func main() {
 	if *verbose {
 		logf = log.Printf
 	}
-	if err := pipeline.Serve(l, backing, logf); err != nil {
+	opts := pipeline.ServeOptions{MaxConns: *maxConns, IdleTimeout: *idle}
+	if err := pipeline.ServeWith(l, backing, opts, logf); err != nil {
 		log.Fatal(err)
 	}
 	if err := backing.Audit(); err != nil {

@@ -116,6 +116,13 @@ func (c *Common) Validate() error {
 	if c.Timeout < 0 {
 		return fmt.Errorf("invalid -timeout %v: must be at least 0 (0 disables the deadline)", c.Timeout)
 	}
+	// A deadline shorter than one claim-poll interval cannot even survive
+	// a single distributed-claim wait: every sharded run would die with a
+	// spurious cancel instead of a diagnostic. Reject it up front.
+	if c.Timeout > 0 && c.Timeout < claimPollInterval {
+		return fmt.Errorf("invalid -timeout %v: must be at least %v, one claim poll interval (0 disables the deadline)",
+			c.Timeout, claimPollInterval)
+	}
 	if _, err := gen.ParseShard(c.ShardSpec); err != nil {
 		return err
 	}

@@ -58,6 +58,46 @@ func TestValidateRejectsNegativeTimeout(t *testing.T) {
 	}
 }
 
+// TestValidateRejectsSubPollTimeout: a positive deadline shorter than one
+// claim-poll interval (50ms) cannot survive a single distributed-claim
+// wait, so Validate rejects it with the unified diagnostic; the interval
+// itself and zero (deadline disabled) are accepted.
+func TestValidateRejectsSubPollTimeout(t *testing.T) {
+	cases := []struct {
+		timeout time.Duration
+		ok      bool
+	}{
+		{0, true},
+		{time.Nanosecond, false},
+		{time.Millisecond, false},
+		{49 * time.Millisecond, false},
+		{50 * time.Millisecond, true},
+		{51 * time.Millisecond, true},
+		{time.Second, true},
+	}
+	for _, tc := range cases {
+		c := &cli.Common{Workers: 1, Bits: 16, Timeout: tc.timeout}
+		err := c.Validate()
+		if tc.ok {
+			if err != nil {
+				t.Errorf("Validate(-timeout=%v) = %v, want accepted", tc.timeout, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("Validate accepted -timeout=%v, want rejection below the 50ms poll interval", tc.timeout)
+			continue
+		}
+		msg := err.Error()
+		if !strings.HasPrefix(msg, "invalid -timeout ") || !strings.Contains(msg, "must be at least ") {
+			t.Errorf("message %q does not follow the unified \"invalid -flag value: must be at least bound\" shape", msg)
+		}
+		if !strings.Contains(msg, "50ms") {
+			t.Errorf("message %q does not name the 50ms poll interval", msg)
+		}
+	}
+}
+
 func TestContextHonorsTimeout(t *testing.T) {
 	c := &cli.Common{Workers: 1, Bits: 16, Timeout: time.Millisecond}
 	ctx, cancel := c.Context()
@@ -103,6 +143,7 @@ func TestValidateMessageShape(t *testing.T) {
 		{"seed", cli.Common{Workers: 1, Bits: 16, Seed: -3}, "invalid -seed -3: "},
 		{"bits", cli.Common{Workers: 1, Bits: 1}, "invalid -bits 1: "},
 		{"timeout", cli.Common{Workers: 1, Bits: 16, Timeout: -time.Second}, "invalid -timeout -1s: "},
+		{"timeout", cli.Common{Workers: 1, Bits: 16, Timeout: 10 * time.Millisecond}, "invalid -timeout 10ms: "},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

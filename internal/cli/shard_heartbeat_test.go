@@ -1,0 +1,158 @@
+package cli
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fp"
+	"repro/internal/gen"
+	"repro/internal/pipeline"
+	"repro/internal/verify"
+)
+
+// Claim heartbeat and expiry unit tests (package-internal: they drive
+// fetchUnit and startClaimHeartbeat directly). The contract: a computing
+// shard keeps its claim's stamp advancing, a poller waits as long as the
+// stamp moves, and a claim whose stamp freezes is reclaimed after
+// claimStallBudget polls — well before the full claimPollAttempts window.
+
+// hbUnitKey is a throwaway work-unit key for the claim tests.
+func hbUnitKey() pipeline.Key {
+	return pipeline.Key{Func: "cospi", Stage: gen.StageVerifyShard, Fingerprint: "hb-test-0.2"}
+}
+
+// hbReports is the fixed unit payload the tests publish or compute.
+func hbReports() []verify.Report {
+	return []verify.Report{{Format: fp.MustFormat(10, 8), Mode: fp.RoundNearestEven, Checked: 1024}}
+}
+
+// sealReports frames hbReports for direct store publication, bypassing
+// pipeline.Run the way a peer process's publish looks to this process.
+func sealReports(reps []verify.Report) []byte {
+	var e pipeline.Enc
+	shardReportCodec.Encode(&e, reps)
+	return pipeline.Seal(shardReportCodec.Name, shardReportCodec.Version, e.Bytes())
+}
+
+// TestShardHeartbeatAdvancesStamp: startClaimHeartbeat republishes the
+// claim with a strictly advancing stamp, and stops advancing once stopped.
+func TestShardHeartbeatAdvancesStamp(t *testing.T) {
+	st := pipeline.NewMemStore()
+	key := hbUnitKey()
+	shard := gen.Shard{K: 0, N: 2}
+	if !gen.Claim(st, key, shard, nil) {
+		t.Fatal("initial claim failed on an empty store")
+	}
+	stop := startClaimHeartbeat(st, key, shard)
+
+	deadline := time.Now().Add(10 * time.Second)
+	var seen uint64
+	for seen < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stamp reached only %d within the deadline", seen)
+		}
+		c, ok := gen.ClaimedBy(st, key, nil)
+		if !ok {
+			t.Fatal("claim vanished while the heartbeat ran")
+		}
+		if c.Owner != shard.Owner() {
+			t.Fatalf("claim owner %q, want %q", c.Owner, shard.Owner())
+		}
+		if c.Stamp < seen {
+			t.Fatalf("stamp went backwards: %d after %d", c.Stamp, seen)
+		}
+		seen = c.Stamp
+		time.Sleep(heartbeatInterval / 2)
+	}
+	stop()
+
+	c, ok := gen.ClaimedBy(st, key, nil)
+	if !ok {
+		t.Fatal("claim vanished after stop")
+	}
+	frozen := c.Stamp
+	time.Sleep(4 * heartbeatInterval)
+	if c, _ := gen.ClaimedBy(st, key, nil); c.Stamp != frozen {
+		t.Errorf("stamp advanced from %d to %d after stop", frozen, c.Stamp)
+	}
+}
+
+// TestShardDeadPeerReclaimedEarly: a peer claim whose stamp never advances
+// is treated as dead after claimStallBudget polls, so fetchUnit computes
+// the unit locally long before the full claimPollAttempts window.
+func TestShardDeadPeerReclaimedEarly(t *testing.T) {
+	st := pipeline.NewMemStore()
+	key := hbUnitKey()
+	// The dead peer claimed the unit (stamp 7) and was then killed: the
+	// stamp will never advance again.
+	gen.RefreshClaim(st, key, gen.Shard{K: 1, N: 2}, 7)
+
+	var computed atomic.Bool
+	compute := func(context.Context) ([]verify.Report, error) {
+		computed.Store(true)
+		return hbReports(), nil
+	}
+	start := time.Now()
+	reps, err := fetchUnit(context.Background(), st, key, gen.Shard{K: 0, N: 2}, nil, nil, compute)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !computed.Load() {
+		t.Error("unit was not computed locally")
+	}
+	if len(reps) != 1 || reps[0].Checked != 1024 {
+		t.Errorf("unexpected reports: %+v", reps)
+	}
+	// The stall budget is 10 polls (~500ms); the full window is 40
+	// (~2s). Half the window is an ample scheduling margin that still
+	// proves the early-expiry path ran.
+	if budget := claimPollAttempts * claimPollInterval; elapsed >= budget/2 {
+		t.Errorf("reclaim took %v, want well under the %v poll window", elapsed, budget)
+	}
+	if c, ok := gen.ClaimedBy(st, key, nil); !ok || c.Owner != (gen.Shard{K: 0, N: 2}).Owner() {
+		t.Errorf("claim not taken over by the survivor: %+v ok=%v", c, ok)
+	}
+}
+
+// TestShardLivePeerAwaited: while a peer's heartbeat keeps the claim
+// fresh, fetchUnit keeps polling — past the stall budget — and returns the
+// peer's published artifact without ever computing locally.
+func TestShardLivePeerAwaited(t *testing.T) {
+	st := pipeline.NewMemStore()
+	key := hbUnitKey()
+	peer := gen.Shard{K: 1, N: 2}
+	if !gen.Claim(st, key, peer, nil) {
+		t.Fatal("peer claim failed on an empty store")
+	}
+	stopHB := startClaimHeartbeat(st, key, peer)
+	defer stopHB()
+
+	// The peer "finishes" its unit after the stall budget would have
+	// expired for a dead claim, proving the heartbeat kept it alive.
+	publishAfter := (claimStallBudget + 5) * claimPollInterval
+	timer := time.AfterFunc(publishAfter, func() {
+		if err := st.Put(key, shardReportCodec.Name, shardReportCodec.Version, sealReports(hbReports())); err != nil {
+			t.Errorf("peer publish: %v", err)
+		}
+	})
+	defer timer.Stop()
+
+	var computed atomic.Bool
+	compute := func(context.Context) ([]verify.Report, error) {
+		computed.Store(true)
+		return hbReports(), nil
+	}
+	reps, err := fetchUnit(context.Background(), st, key, gen.Shard{K: 0, N: 2}, nil, nil, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computed.Load() {
+		t.Error("fetchUnit computed locally despite a live, heartbeating peer")
+	}
+	if len(reps) != 1 || reps[0].Checked != 1024 {
+		t.Errorf("unexpected reports: %+v", reps)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -211,6 +212,65 @@ func TestTwoProcessShardClaim(t *testing.T) {
 	if err := backing.Audit(); err != nil {
 		t.Errorf("shared store audit: %v", err)
 	}
+}
+
+// TestTwoProcessShardClaimDeadPeer is the kill-one-peer acceptance test:
+// shard 1/2 claims every one of its work units and is then killed before
+// computing any of them — its claims sit in the store with a heartbeat
+// stamp that never advances. The surviving shard 0/2 must detect each
+// frozen stamp, reclaim the unit before the full poll window expires, and
+// still assemble bytes identical to a solo run.
+func TestTwoProcessShardClaimDeadPeer(t *testing.T) {
+	opt := progOpts(storeWorkers(2))
+
+	// Solo reference.
+	refRes, _, err := cli.GenerateVerifiedSharded(context.Background(), testFn, progOpts(storeWorkers(2)), pipeline.NewMemStore(), gen.Shard{})
+	if err != nil {
+		t.Fatalf("solo reference: %v", err)
+	}
+	refEmit := []byte(gen.EmitGo(refRes, "libm", "registerTest"))
+
+	// The dead peer: claims all four of its potential units (2 levels ×
+	// 2 passes, unit index 1 of 2) and never refreshes or computes.
+	backing := pipeline.NewMemStore()
+	addr := startStoreServer(t, backing)
+	dead := gen.Shard{K: 1, N: 2}
+	for li := 0; li < 2; li++ {
+		for pass := 0; pass < 2; pass++ {
+			gen.RefreshClaim(backing, gen.VerifyShardKey(testFn, opt, li, pass, 1, 2), dead, 3)
+		}
+	}
+
+	// The survivor, with a log capture so the early-reclaim path is
+	// observable: the "unrefreshed" diagnostic only fires from the
+	// stall-budget branch, which trips long before the poll window ends.
+	var logMu sync.Mutex
+	var reclaims int
+	runOpt := progOpts(storeWorkers(2))
+	runOpt.Logf = func(format string, args ...interface{}) {
+		logMu.Lock()
+		defer logMu.Unlock()
+		if strings.Contains(format, "unrefreshed") {
+			reclaims++
+		}
+	}
+	res, _, err := cli.GenerateVerifiedSharded(context.Background(), testFn, runOpt, dialStore(t, addr), gen.Shard{K: 0, N: 2})
+	if err != nil {
+		t.Fatalf("survivor run: %v", err)
+	}
+	if got := []byte(gen.EmitGo(res, "libm", "registerTest")); !bytes.Equal(got, refEmit) {
+		t.Error("survivor assembled different bytes than the solo run")
+	}
+	logMu.Lock()
+	got := reclaims
+	logMu.Unlock()
+	if got == 0 {
+		t.Error("no dead claim was reclaimed via the stall budget; the survivor waited out the full window or never saw the claims")
+	}
+	if err := backing.Audit(); err != nil {
+		t.Errorf("audit: %v", err)
+	}
+	dumpStoreArtifacts(t, "dead-peer", backing)
 }
 
 // TestShardStaleClaimRecovers: a claim that always reads back stale

@@ -18,6 +18,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -339,4 +340,34 @@ func (k *Kernel) evalLoop(dst []uint64, src []float64) (specials, polys int64) {
 		polys++
 	}
 	return specials, polys
+}
+
+// ctxChunk bounds how many inputs EvalBatchCtx evaluates between context
+// checks: large enough that the per-chunk ctx.Err() load is amortized to
+// nothing, small enough that a canceled request stops within tens of
+// microseconds.
+const ctxChunk = 4096
+
+// EvalBatchCtx is EvalBatch with a cancellation point between chunks: the
+// serving layer propagates per-request deadlines through it, so a request
+// whose client went away (or whose deadline passed) stops mid-batch instead
+// of burning the rest of the slice. Outputs written before cancellation are
+// valid; the returned error is ctx.Err(). The chunk loop lives outside the
+// //evalhot:loop region — the hot loop itself stays branch-free.
+func (k *Kernel) EvalBatchCtx(ctx context.Context, dst []uint64, src []float64) error {
+	if len(dst) < len(src) {
+		panic("eval: dst shorter than src")
+	}
+	for len(src) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		n := len(src)
+		if n > ctxChunk {
+			n = ctxChunk
+		}
+		k.EvalBatch(dst[:n], src[:n])
+		dst, src = dst[n:], src[n:]
+	}
+	return nil
 }

@@ -61,6 +61,16 @@ const (
 	// CodeInjected: a fault-injection probe fired more times than any
 	// retry budget allows; only ever seen under a test Plan.
 	CodeInjected Code = "injected"
+	// CodeOverload: the serving admission queue was full and the request
+	// was shed (HTTP 429). Retriable by construction — shedding is how the
+	// server survives overload without unbounded goroutines.
+	CodeOverload Code = "serve-overload"
+	// CodeDraining: the server is draining after SIGTERM and no longer
+	// admits new requests (HTTP 503); in-flight requests still complete.
+	CodeDraining Code = "serve-draining"
+	// CodeServePanic: a request handler panicked; the panic was isolated
+	// to that request (HTTP 500) and the server stayed up.
+	CodeServePanic Code = "serve-panic"
 )
 
 // Error is the typed pipeline error. Zero-valued coordinate fields mean

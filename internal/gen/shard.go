@@ -95,18 +95,36 @@ func claimKey(unit pipeline.Key) pipeline.Key {
 	}
 }
 
-// ClaimCodec encodes a claim artifact: the owner token of the shard that
-// announced it is computing the unit.
-var ClaimCodec = pipeline.Codec[string]{
+// ClaimInfo is the decoded claim artifact: the owner token of the shard
+// computing the unit, plus a heartbeat stamp. Stamp is a monotonic
+// sequence number the owner bumps while it computes (see RefreshClaim),
+// NOT a wall-clock time — persisted artifacts must stay clock-free (the
+// nondetflow contract), and a sequence avoids cross-machine clock skew.
+// Liveness is therefore judged relatively: a poller that watches the same
+// (Owner, Stamp) pair across several polls without the stamp advancing
+// concludes the owner died and reclaims the unit.
+type ClaimInfo struct {
+	Owner string
+	Stamp uint64
+}
+
+// ClaimCodec encodes a claim artifact. v2 added the heartbeat stamp; v1
+// claims (owner only) fail the Unseal identity check and read as "no
+// claim", which merely costs one duplicated unit during a mixed-version
+// rollout — claims are dedup, never correctness.
+var ClaimCodec = pipeline.Codec[ClaimInfo]{
 	Name:    "store-claim",
-	Version: 1,
-	Encode:  func(e *pipeline.Enc, owner string) { e.Str(owner) },
-	Decode: func(d *pipeline.Dec) (string, error) {
-		owner := d.Str()
-		if d.Err() == nil && owner == "" {
-			return "", fmt.Errorf("%w: empty claim owner", pipeline.ErrCorrupt)
+	Version: 2,
+	Encode: func(e *pipeline.Enc, c ClaimInfo) {
+		e.Str(c.Owner)
+		e.U64(c.Stamp)
+	},
+	Decode: func(d *pipeline.Dec) (ClaimInfo, error) {
+		c := ClaimInfo{Owner: d.Str(), Stamp: d.U64()}
+		if d.Err() == nil && c.Owner == "" {
+			return ClaimInfo{}, fmt.Errorf("%w: empty claim owner", pipeline.ErrCorrupt)
 		}
-		return owner, d.Err()
+		return c, d.Err()
 	},
 }
 
@@ -121,48 +139,60 @@ func Claim(st pipeline.Store, unit pipeline.Key, shard Shard, faults *fault.Plan
 	if st == nil || shard.Solo() {
 		return true
 	}
-	if owner, ok := ClaimedBy(st, unit, faults); ok && owner != shard.Owner() {
+	if c, ok := ClaimedBy(st, unit, faults); ok && c.Owner != shard.Owner() {
 		return false
 	}
-	seal := sealClaim(shard.Owner())
 	ck := claimKey(unit)
-	if err := st.Put(ck, ClaimCodec.Name, ClaimCodec.Version, seal); err != nil {
+	if err := st.Put(ck, ClaimCodec.Name, ClaimCodec.Version, sealClaim(ClaimInfo{Owner: shard.Owner()})); err != nil {
 		// A claim that cannot be written is only lost dedup: compute.
 		return true
 	}
-	owner, ok := ClaimedBy(st, unit, faults)
-	return !ok || owner == shard.Owner()
+	c, ok := ClaimedBy(st, unit, faults)
+	return !ok || c.Owner == shard.Owner()
 }
 
-// ClaimedBy returns the owner token of the claim on unit, if a readable,
-// well-formed claim exists. Injection: SiteClaimStale reports any
-// existing claim as unreadable, which callers treat as "no live peer".
-func ClaimedBy(st pipeline.Store, unit pipeline.Key, faults *fault.Plan) (owner string, ok bool) {
+// RefreshClaim republishes shard's claim on unit with the given heartbeat
+// stamp. The computing process calls it periodically while a unit is in
+// flight so pollers see the stamp advance; a write failure is ignored —
+// at worst a poller declares this process dead and duplicates the unit's
+// byte-identical work.
+func RefreshClaim(st pipeline.Store, unit pipeline.Key, shard Shard, stamp uint64) {
+	if st == nil || shard.Solo() {
+		return
+	}
+	ck := claimKey(unit)
+	_ = st.Put(ck, ClaimCodec.Name, ClaimCodec.Version, sealClaim(ClaimInfo{Owner: shard.Owner(), Stamp: stamp}))
+}
+
+// ClaimedBy returns the claim on unit, if a readable, well-formed claim
+// exists. Injection: SiteClaimStale reports any existing claim as
+// unreadable, which callers treat as "no live peer".
+func ClaimedBy(st pipeline.Store, unit pipeline.Key, faults *fault.Plan) (ClaimInfo, bool) {
 	if st == nil {
-		return "", false
+		return ClaimInfo{}, false
 	}
 	data, found := st.Get(claimKey(unit), ClaimCodec.Name, ClaimCodec.Version)
 	if !found {
-		return "", false
+		return ClaimInfo{}, false
 	}
 	if faults.Should(fault.SiteClaimStale) {
-		return "", false
+		return ClaimInfo{}, false
 	}
 	payload, err := pipeline.Unseal(data, ClaimCodec.Name, ClaimCodec.Version)
 	if err != nil {
-		return "", false
+		return ClaimInfo{}, false
 	}
 	d := pipeline.NewDec(payload)
-	owner, derr := ClaimCodec.Decode(d)
+	c, derr := ClaimCodec.Decode(d)
 	if derr != nil || d.Done() != nil {
-		return "", false
+		return ClaimInfo{}, false
 	}
-	return owner, true
+	return c, true
 }
 
 // sealClaim frames a claim artifact for storage.
-func sealClaim(owner string) []byte {
+func sealClaim(c ClaimInfo) []byte {
 	var e pipeline.Enc
-	ClaimCodec.Encode(&e, owner)
+	ClaimCodec.Encode(&e, c)
 	return pipeline.Seal(ClaimCodec.Name, ClaimCodec.Version, e.Bytes())
 }

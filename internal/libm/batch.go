@@ -1,6 +1,7 @@
 package libm
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -65,6 +66,22 @@ func EvalBatch(fn bigmath.Func, dst []uint64, src []float64, out fp.Format, mode
 	}
 	k.EvalBatch(dst, src)
 	return nil
+}
+
+// EvalBatchCtx is EvalBatch with per-request cancellation: the kernel
+// checks ctx between chunks, so a deadline or a departed client stops the
+// batch early. Outputs written before cancellation are bit-identical to
+// EvalBatch's; the returned error is ctx.Err() on cancellation, or the
+// kernel-lookup error otherwise.
+func EvalBatchCtx(ctx context.Context, fn bigmath.Func, dst []uint64, src []float64, out fp.Format, mode fp.Mode) error {
+	if len(dst) < len(src) {
+		return ErrShortDst
+	}
+	k, err := Kernel(fn, out, mode)
+	if err != nil {
+		return err
+	}
+	return k.EvalBatchCtx(ctx, dst, src)
 }
 
 // ErrShortDst reports a destination slice shorter than the source.

@@ -111,6 +111,20 @@ const (
 	CtrEvalSpecialHits Counter = "eval.special_hits" // special-path and special-table answers
 	CtrEvalTruncated   Counter = "eval.truncated"    // truncated-prefix polynomial evaluations
 	CtrEvalFull        Counter = "eval.full"         // full (largest-level) polynomial evaluations
+
+	// Long-lived evaluation service (internal/serve). Requests counts
+	// every admission attempt on either endpoint; shed counts requests
+	// rejected because the admission queue was full (HTTP 429), canceled
+	// counts requests cut short by their deadline or the client going
+	// away, and panics counts handler panics isolated to one request.
+	// Reloads/reload.failed count coefficient hot-swaps from the artifact
+	// store — a failed reload keeps serving the previous kernel set.
+	CtrServeRequests     Counter = "serve.requests"
+	CtrServeShed         Counter = "serve.shed"
+	CtrServeCanceled     Counter = "serve.canceled"
+	CtrServePanics       Counter = "serve.panics"
+	CtrServeReloads      Counter = "serve.reloads"
+	CtrServeReloadFailed Counter = "serve.reload.failed"
 )
 
 // Taxonomy returns every counter, in report order.
@@ -126,6 +140,8 @@ func Taxonomy() []Counter {
 		CtrStoreHits, CtrStoreMisses, CtrStoreBytesRead, CtrStoreBytesWritten,
 		CtrRemoteRoundTrips, CtrRemoteRetries, CtrRemoteBytesSent, CtrRemoteBytesRecv,
 		CtrEvalBatches, CtrEvalInputs, CtrEvalSpecialHits, CtrEvalTruncated, CtrEvalFull,
+		CtrServeRequests, CtrServeShed, CtrServeCanceled, CtrServePanics,
+		CtrServeReloads, CtrServeReloadFailed,
 	}
 }
 
@@ -154,7 +170,7 @@ type Recorder struct {
 // measures to now) before emitting.
 func New(name string) *Recorder {
 	//lint:ignore wallclock observability time base only; span timings never feed a coefficient.
-	r := &Recorder{start: time.Now()}
+	r := &Recorder{start: time.Now()} //lint:ignore nondetflow the recorder's span travels with serving/reload code that also derives store keys, but key bytes come only from function names and options — no span state reaches an Enc, Seal or fingerprint.
 	r.root = &Span{rec: r, name: name}
 	return r
 }

@@ -4,25 +4,57 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"time"
 )
 
+// ServeOptions bounds the store server's connection handling. The zero
+// value preserves the historical behavior: unlimited connections, no idle
+// deadline.
+type ServeOptions struct {
+	// MaxConns caps concurrently served connections; 0 means unlimited.
+	// A connection accepted over the cap is closed immediately without a
+	// response — the client's retry budget re-establishes it once a slot
+	// frees, so a cap degrades throughput, never correctness.
+	MaxConns int
+	// IdleTimeout drops a connection that sends no request frame for
+	// this long; 0 means never. It bounds the resources an abandoned or
+	// wedged client can pin (each connection holds a goroutine and a
+	// MaxConns slot).
+	IdleTimeout time.Duration
+}
+
 // Serve exposes a backing store over the framed-TCP wire protocol until
-// the listener is closed: it accepts connections and answers each
-// request — Get, Put, Delete, Audit — against backing, sealing every
-// response in the same frames artifacts use on disk. The server is a thin
-// relay: it never unseals artifact payloads (only the protocol envelope),
-// so a byte stored through it is the byte a Get returns, and every
-// consistency property — atomic publication, audit, corruption detection —
-// is the backing store's. cmd/rlibm-store wraps it behind a disk store;
+// the listener is closed, with unlimited connections and no idle deadline.
+// See ServeWith.
+func Serve(l net.Listener, backing Store, logf Logf) error {
+	return ServeWith(l, backing, ServeOptions{}, logf)
+}
+
+// ServeWith exposes a backing store over the framed-TCP wire protocol
+// until the listener is closed: it accepts connections — concurrently, one
+// goroutine per connection, bounded by opts — and answers each request —
+// Get, Put, Delete, Audit — against backing, sealing every response in the
+// same frames artifacts use on disk. The server is a thin relay: it never
+// unseals artifact payloads (only the protocol envelope), so a byte stored
+// through it is the byte a Get returns, and every consistency property —
+// atomic publication, audit, corruption detection — is the backing
+// store's. Concurrent requests are therefore as safe as the backing store
+// makes them, which every backend guarantees (last-writer-wins Puts of
+// content-addressed bytes). cmd/rlibm-store wraps it behind a disk store;
 // tests run it in-process over a loopback listener.
 //
-// A connection serves requests sequentially and is dropped on the first
-// malformed frame (the client's retry budget re-establishes it). Serve
-// returns once the listener is closed, after in-flight connections have
-// drained; the returned error is nil on a clean shutdown.
-func Serve(l net.Listener, backing Store, logf Logf) error {
+// A connection serves its own requests sequentially and is dropped on the
+// first malformed frame or idle timeout (the client's retry budget
+// re-establishes it). ServeWith returns once the listener is closed, after
+// in-flight connections have drained; the returned error is nil on a clean
+// shutdown.
+func ServeWith(l net.Listener, backing Store, opts ServeOptions, logf Logf) error {
 	if logf == nil {
 		logf = func(string, ...interface{}) {}
+	}
+	var sem chan struct{}
+	if opts.MaxConns > 0 {
+		sem = make(chan struct{}, opts.MaxConns)
 	}
 	var wg sync.WaitGroup
 	for {
@@ -34,22 +66,44 @@ func Serve(l net.Listener, backing Store, logf Logf) error {
 			}
 			return err
 		}
+		if sem != nil {
+			select {
+			case sem <- struct{}{}:
+			default:
+				logf("store-serve: %s: connection cap %d reached — dropping connection",
+					conn.RemoteAddr(), opts.MaxConns)
+				conn.Close()
+				continue
+			}
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			serveConn(conn, backing, logf)
+			if sem != nil {
+				defer func() { <-sem }()
+			}
+			serveConn(conn, backing, opts.IdleTimeout, logf)
 		}()
 	}
 }
 
-// serveConn answers one connection's requests until it errors or closes.
-func serveConn(conn net.Conn, backing Store, logf Logf) {
+// serveConn answers one connection's requests until it errors, closes, or
+// idles past the deadline.
+func serveConn(conn net.Conn, backing Store, idle time.Duration, logf Logf) {
 	defer conn.Close()
 	peer := conn.RemoteAddr().String()
 	for {
+		if idle > 0 {
+			// Deadlines bound one read; the values never feed an artifact.
+			//lint:ignore wallclock per-frame idle deadline; the clock value never influences generated coefficients.
+			deadline := time.Now().Add(idle)
+			if err := conn.SetReadDeadline(deadline); err != nil {
+				return
+			}
+		}
 		frame, err := readFrame(conn)
 		if err != nil {
-			return // peer closed or lost framing; nothing to answer
+			return // peer closed, idled out, or lost framing; nothing to answer
 		}
 		req, err := decodeRequest(frame)
 		if err != nil {

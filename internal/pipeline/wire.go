@@ -126,6 +126,17 @@ func decodeResponse(frame []byte) (wireResponse, error) {
 	return r, nil
 }
 
+// WriteFrame writes one length-prefixed message to w: the serving layer
+// (internal/serve) reuses the store-wire framing for its bulk endpoint, so
+// both protocols share one frame reader, one length cap and one fuzz
+// target (FuzzStoreWire).
+func WriteFrame(w io.Writer, frame []byte) error { return writeFrame(w, frame) }
+
+// ReadFrame reads one length-prefixed message from r, bounding the length
+// prefix before any allocation; the exported counterpart of readFrame for
+// the serving layer's bulk endpoint.
+func ReadFrame(r io.Reader) ([]byte, error) { return readFrame(r) }
+
 // writeFrame writes one length-prefixed message to w.
 func writeFrame(w io.Writer, frame []byte) error {
 	var prefix [4]byte

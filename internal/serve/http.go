@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/bigmath"
+	"repro/internal/eval"
+	"repro/internal/fault"
+	"repro/internal/fp"
+	"repro/internal/libm"
+)
+
+// The HTTP/JSON surface. One POST endpoint does the work; the health
+// pair makes the server orchestratable (liveness vs readiness are
+// deliberately distinct: a draining server is alive but not ready).
+//
+//	POST /eval      {"func":"log2","format":"F16,8","mode":"rn","inputs":[…]}
+//	                → {"outputs":[…]} | {"error":{"code":…,"message":…}}
+//	GET  /healthz   liveness: 200 while the process serves at all
+//	GET  /readyz    readiness: 200 only when tables are loaded and the
+//	                server is not draining
+//	GET  /statusz   operational snapshot: fingerprint, per-function table
+//	                provenance, queue bound
+
+// maxBodyBytes bounds one JSON request body: 16 bytes per input in the
+// densest encoding puts a MaxBatch request well inside it; anything larger
+// is a client bug or abuse, rejected before parsing.
+const maxBodyBytes = 64 << 20
+
+// evalPayload is the POST /eval request body.
+type evalPayload struct {
+	Func   string   `json:"func"`
+	Format string   `json:"format"`
+	Mode   string   `json:"mode"`
+	Inputs []uint64 `json:"inputs"`
+}
+
+// errorBody is the JSON error envelope; Code is the stable fault code
+// (serve-overload, serve-draining, canceled, serve-panic, bad-request,
+// no-tables) that the README troubleshooting table documents.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// handler assembles the mux.
+func (s *Server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/eval", s.handleEval)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		if len(s.kset.Load().Functions()) == 0 {
+			http.Error(w, "no tables loaded", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("/statusz", s.handleStatus)
+	return mux
+}
+
+// handleEval answers one JSON evaluation request.
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "bad-request", "POST required")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var p evalPayload
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", fmt.Sprintf("decode request: %v", err))
+		return
+	}
+	req, err := parseRequest(p)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad-request", err.Error())
+		return
+	}
+	out, err := s.Evaluate(r.Context(), req)
+	if err != nil {
+		status, code := errStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Outputs []uint64 `json:"outputs"`
+	}{Outputs: out})
+}
+
+// handleStatus reports the serving state for operators: which generation
+// of tables is live and where each function's coefficients came from.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	ks := s.kset.Load()
+	type status struct {
+		Fingerprint string            `json:"fingerprint"`
+		Draining    bool              `json:"draining"`
+		Queue       int               `json:"queue"`
+		Functions   map[string]string `json:"functions"`
+	}
+	st := status{
+		Fingerprint: ks.Fingerprint(),
+		Draining:    s.draining.Load(),
+		Queue:       s.cfg.Queue,
+		Functions:   make(map[string]string),
+	}
+	for _, fn := range ks.Functions() {
+		st.Functions[fn.String()] = ks.Source(fn)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// parseRequest resolves the string-typed JSON fields.
+func parseRequest(p evalPayload) (Request, error) {
+	fn, err := bigmath.ParseFunc(p.Func)
+	if err != nil {
+		return Request{}, err
+	}
+	f, err := fp.ParseFormat(p.Format)
+	if err != nil {
+		return Request{}, err
+	}
+	mode := fp.RoundNearestEven
+	if p.Mode != "" {
+		mode, err = fp.ParseMode(p.Mode)
+		if err != nil {
+			return Request{}, err
+		}
+	}
+	return Request{Fn: fn, Out: f, Mode: mode, Inputs: p.Inputs}, nil
+}
+
+// errStatus maps an Evaluate error to its HTTP status and stable code.
+func errStatus(err error) (int, string) {
+	var re *requestError
+	if errors.As(err, &re) {
+		return http.StatusBadRequest, "bad-request"
+	}
+	if errors.Is(err, libm.ErrNoTables) || errors.Is(err, eval.ErrTooWide) {
+		return http.StatusNotFound, "no-tables"
+	}
+	switch fault.CodeOf(err) {
+	case fault.CodeOverload:
+		return http.StatusTooManyRequests, string(fault.CodeOverload)
+	case fault.CodeDraining:
+		return http.StatusServiceUnavailable, string(fault.CodeDraining)
+	case fault.CodeCanceled:
+		return http.StatusServiceUnavailable, string(fault.CodeCanceled)
+	case fault.CodeServePanic:
+		return http.StatusInternalServerError, string(fault.CodeServePanic)
+	}
+	return http.StatusInternalServerError, "internal"
+}
+
+// writeError emits the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	var b errorBody
+	b.Error.Code = code
+	b.Error.Message = msg
+	json.NewEncoder(w).Encode(b)
+}

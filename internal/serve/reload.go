@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Coefficient hot-reload. The generator publishes new verify artifacts
+// into the store; a long-running server should pick them up without a
+// restart, and a corrupted or half-published generation must never reach
+// traffic. The watcher polls the store's cheap content fingerprint (no
+// decode, no verification) every ReloadInterval; only when the
+// fingerprint differs from the live set's does it pay for a full
+// load-verify cycle. A set that loads and verifies is swapped in
+// atomically (serve.reloads); one that fails is dropped, counted
+// (serve.reload.failed) and the previous tables keep serving — degraded
+// staleness beats wrong answers.
+
+// watchReload is the watcher goroutine; Shutdown stops it via watchStop.
+func (s *Server) watchReload() {
+	defer s.watchWG.Done()
+	t := time.NewTicker(s.cfg.ReloadInterval)
+	defer t.Stop()
+	var lastFailed string
+	for {
+		select {
+		case <-s.watchStop:
+			return
+		case <-t.C:
+			lastFailed = s.reloadOnce(lastFailed)
+		}
+	}
+}
+
+// reloadOnce runs one poll-compare-swap cycle. lastFailed is the most
+// recent fingerprint that failed verification; passing it back suppresses
+// a retry-and-log storm while a bad generation sits in the store — the
+// watcher waits for the store content to change again. Tests call this
+// directly for deterministic reload coverage.
+func (s *Server) reloadOnce(lastFailed string) string {
+	fprint := StoreFingerprint(s.cfg.Store, s.cfg.Opt)
+	if fprint == s.kset.Load().Fingerprint() || fprint == lastFailed {
+		return lastFailed
+	}
+	ks, err := LoadKernelSet(s.cfg.Store, s.cfg.Opt, s.cfg.Span, s.cfg.Logf)
+	if err != nil {
+		s.cfg.Span.Add(obs.CtrServeReloadFailed, 1)
+		s.logf("serve: reload rejected, keeping current tables: %v", err)
+		return fprint
+	}
+	s.kset.Store(ks)
+	s.cfg.Span.Add(obs.CtrServeReloads, 1)
+	s.logf("serve: reloaded tables, fingerprint %.12s…", ks.Fingerprint())
+	return ""
+}

@@ -1,0 +1,363 @@
+// Package serve is the long-lived evaluation service on top of the
+// batched kernels of internal/eval: a stdlib-only HTTP/JSON endpoint plus
+// a framed binary bulk endpoint (the store-wire length-prefixed framing)
+// answering correctly rounded evaluations for every generated function ×
+// format × rounding mode.
+//
+// The package is robustness work first and serving work second. A process
+// that runs for days must survive overload, slow clients, coefficient
+// regeneration and partial failure, so the core mechanisms are:
+//
+//   - Bounded admission: at most Config.Queue requests hold evaluation
+//     slots at once; the rest are shed immediately with a typed
+//     fault.Error (serve-overload → HTTP 429). No queue grows without
+//     bound and no goroutine pile-up survives an overload spike.
+//   - Per-request deadlines: Config.RequestTimeout is propagated as a
+//     context into the eval path (Kernel.EvalBatchCtx checks it between
+//     chunks), so a slow or departed client stops consuming CPU
+//     mid-batch.
+//   - Panic isolation: a panic while serving one request is recovered,
+//     answered as a typed serve-panic error (HTTP 500), counted, and the
+//     server keeps serving.
+//   - Coefficient hot-reload: a watcher polls the artifact store's
+//     fingerprint and atomically swaps in a freshly verified KernelSet
+//     when regeneration publishes new tables; a set that fails
+//     verification is rejected, counted (serve.reload.failed) and the
+//     previous tables keep serving. Requests snapshot the set once, so a
+//     response is never computed against a mix of generations.
+//   - Graceful drain: Shutdown stops admitting, lets every admitted
+//     request complete (HTTP and bulk), wakes idle bulk readers, and
+//     returns once the listeners are quiet — the command then flushes the
+//     observability report.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bigmath"
+	"repro/internal/fault"
+	"repro/internal/fp"
+	"repro/internal/gen"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// Defaults applied by New for zero-valued Config fields.
+const (
+	DefaultQueue          = 256
+	DefaultRequestTimeout = 5 * time.Second
+	DefaultIdleTimeout    = 2 * time.Minute
+	DefaultMaxBatch       = 1 << 20
+)
+
+// Config parameterizes a Server. The zero value serves the baked-in libm
+// tables with the defaults above and no reload watcher.
+type Config struct {
+	// Queue bounds admitted requests (in service plus queued); requests
+	// beyond it are shed with a serve-overload fault (HTTP 429).
+	Queue int
+	// RequestTimeout is the per-request deadline propagated into the eval
+	// path; 0 selects DefaultRequestTimeout, negative disables.
+	RequestTimeout time.Duration
+	// IdleTimeout is the bulk connection's per-frame read deadline: a
+	// client that sends nothing for this long is disconnected.
+	IdleTimeout time.Duration
+	// MaxBatch bounds the inputs of one request.
+	MaxBatch int
+	// Store is the artifact store coefficients load (and hot-reload)
+	// from; nil serves the baked-in tables only.
+	Store pipeline.Store
+	// Opt fingerprints the store artifacts to load: the server must be
+	// started with the same -seed/-bits/-levels/-progressive-ro the
+	// generator ran with (worker counts never matter).
+	Opt gen.Options
+	// ReloadInterval is the store-fingerprint poll period of the
+	// hot-reload watcher; 0 disables watching (Store still seeds the
+	// initial set).
+	ReloadInterval time.Duration
+	// Logf logs serving events; nil is silent.
+	Logf pipeline.Logf
+	// Span receives the serve.* and eval.* counters; nil disables
+	// observability (every write is a nil-check no-op).
+	Span *obs.Span
+}
+
+// Server is the long-lived evaluation service. Create with New, start
+// with Start, stop with Shutdown.
+type Server struct {
+	cfg  Config
+	kset atomic.Pointer[KernelSet]
+
+	// sem is the admission queue: a request holds one token from
+	// admission to completion. Shutdown drains by acquiring every token,
+	// so "all tokens held by Shutdown" is exactly "no request in flight".
+	sem      chan struct{}
+	draining atomic.Bool
+	drained  atomic.Bool
+
+	httpSrv *http.Server
+	httpLn  net.Listener
+	bulkLn  net.Listener
+
+	mu        sync.Mutex
+	bulkConns map[net.Conn]struct{}
+	connWG    sync.WaitGroup // bulk accept loop + connections
+	watchStop chan struct{}
+	watchWG   sync.WaitGroup
+
+	// Test hooks (same-package tests only). holdRequests, when non-nil,
+	// parks every admitted request until a value is received; panicFn
+	// runs inside the request path to exercise panic isolation.
+	holdRequests chan struct{}
+	panicFn      func(req Request)
+}
+
+// New builds a server: defaults applied, initial kernel set loaded. A
+// store whose artifacts fail verification degrades to the baked-in tables
+// (counted as serve.reload.failed) rather than refusing to start — the
+// operator sees the log line, the health endpoints stay green, and a
+// later successful regeneration hot-reloads the store tables in.
+func New(cfg Config) (*Server, error) {
+	if cfg.Queue == 0 {
+		cfg.Queue = DefaultQueue
+	}
+	if cfg.Queue < 1 {
+		return nil, fmt.Errorf("serve: queue bound %d: must be at least 1", cfg.Queue)
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = DefaultIdleTimeout
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	s := &Server{
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.Queue),
+		bulkConns: make(map[net.Conn]struct{}),
+	}
+	ks, err := LoadKernelSet(cfg.Store, cfg.Opt, cfg.Span, cfg.Logf)
+	if err != nil {
+		s.logf("serve: store tables rejected, serving builtin tables: %v", err)
+		cfg.Span.Add(obs.CtrServeReloadFailed, 1)
+		ks, err = LoadKernelSet(nil, cfg.Opt, cfg.Span, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(ks.Functions()) == 0 {
+		return nil, fmt.Errorf("serve: no tables to serve (no store artifacts, no builtin tables)")
+	}
+	s.kset.Store(ks)
+	return s, nil
+}
+
+// KernelSet returns the currently served set (tests pin which generation
+// answered).
+func (s *Server) KernelSet() *KernelSet { return s.kset.Load() }
+
+// Start listens on httpAddr (required) and bulkAddr (empty disables the
+// bulk endpoint) and serves until Shutdown. It returns once both
+// listeners are bound, so callers can read the resolved addresses.
+func (s *Server) Start(httpAddr, bulkAddr string) error {
+	ln, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		return fmt.Errorf("serve: listen http %s: %w", httpAddr, err)
+	}
+	s.httpLn = ln
+	s.httpSrv = &http.Server{
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       s.cfg.IdleTimeout,
+	}
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.logf("serve: http: %v", err)
+		}
+	}()
+	if bulkAddr != "" {
+		bln, err := net.Listen("tcp", bulkAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("serve: listen bulk %s: %w", bulkAddr, err)
+		}
+		s.bulkLn = bln
+		s.connWG.Add(1)
+		go s.acceptBulk(bln)
+	}
+	if s.cfg.ReloadInterval > 0 && s.cfg.Store != nil {
+		s.watchStop = make(chan struct{})
+		s.watchWG.Add(1)
+		go s.watchReload()
+	}
+	return nil
+}
+
+// HTTPAddr returns the bound HTTP listener address.
+func (s *Server) HTTPAddr() net.Addr { return s.httpLn.Addr() }
+
+// BulkAddr returns the bound bulk listener address, nil when disabled.
+func (s *Server) BulkAddr() net.Addr {
+	if s.bulkLn == nil {
+		return nil
+	}
+	return s.bulkLn.Addr()
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains the server: stop admitting (429s become serve-draining
+// 503s), let every admitted request complete and its response reach the
+// client, disconnect idle bulk connections, stop the reload watcher. The
+// context bounds the wait; on expiry remaining connections are closed
+// hard and the context error returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.drained.Load() {
+		return nil // already fully drained; Shutdown is idempotent
+	}
+	s.draining.Store(true)
+	// Stop the watcher first: a reload mid-drain would be wasted work.
+	if s.watchStop != nil {
+		close(s.watchStop)
+		s.watchWG.Wait()
+		s.watchStop = nil
+	}
+	// HTTP: stop accepting, wait for in-flight handlers (each holds an
+	// admission token until its response is written).
+	var httpErr error
+	if s.httpSrv != nil {
+		httpErr = s.httpSrv.Shutdown(ctx)
+	}
+	// Bulk: stop accepting, wake idle readers (their next read fails, the
+	// loop observes draining and exits after answering any frame already
+	// read), then wait for the connection goroutines.
+	if s.bulkLn != nil {
+		s.bulkLn.Close()
+	}
+	s.nudgeBulkConns()
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		s.closeBulkConns()
+		<-done
+		return ctx.Err()
+	}
+	// Every admitted request holds a token; holding all of them proves
+	// the queue is empty and nothing is mid-evaluation.
+	for i := 0; i < cap(s.sem); i++ {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	s.drained.Store(true)
+	return httpErr
+}
+
+// logf logs through the configured logger; nil is silent.
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Request is one evaluation request, shared by the HTTP and bulk
+// endpoints: evaluate fn over the bit patterns of out under mode.
+type Request struct {
+	Fn     bigmath.Func
+	Out    fp.Format
+	Mode   fp.Mode
+	Inputs []uint64
+}
+
+// requestError is a malformed-request failure (HTTP 400): out-of-range
+// inputs, oversized batches. Distinct from fault.Error because nothing
+// failed — the client asked for something that does not exist.
+type requestError struct{ msg string }
+
+func (e *requestError) Error() string { return e.msg }
+
+// badRequestf builds a requestError.
+func badRequestf(format string, args ...interface{}) error {
+	return &requestError{msg: fmt.Sprintf(format, args...)}
+}
+
+// Evaluate runs one request through admission, deadline, panic isolation
+// and the batched kernel of the current set. The returned slice has one
+// output bit pattern per input; the error is a *fault.Error (overload,
+// draining, canceled, panic), a *requestError (malformed), or a
+// kernel-lookup failure (unknown function/format).
+func (s *Server) Evaluate(ctx context.Context, req Request) (out []uint64, err error) {
+	s.cfg.Span.Add(obs.CtrServeRequests, 1)
+	if s.draining.Load() {
+		return nil, fault.New(fault.CodeDraining, "serve", "admit", nil).WithFunc(req.Fn.String())
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.cfg.Span.Add(obs.CtrServeShed, 1)
+		return nil, fault.New(fault.CodeOverload, "serve", "admit", nil).WithFunc(req.Fn.String())
+	}
+	defer func() { <-s.sem }()
+	if s.holdRequests != nil {
+		select {
+		case <-s.holdRequests:
+		case <-ctx.Done():
+		}
+	}
+	// Panic isolation: one request's panic becomes its typed 500; the
+	// token release above still runs, so the slot is never leaked.
+	defer func() {
+		if r := recover(); r != nil {
+			s.cfg.Span.Add(obs.CtrServePanics, 1)
+			s.logf("serve: panic isolated to one request: %v", r)
+			out, err = nil, fault.New(fault.CodeServePanic, "serve", "eval",
+				fmt.Errorf("%v", r)).WithFunc(req.Fn.String())
+		}
+	}()
+	if s.panicFn != nil {
+		s.panicFn(req)
+	}
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	if len(req.Inputs) > s.cfg.MaxBatch {
+		return nil, badRequestf("batch of %d inputs exceeds the %d-input bound", len(req.Inputs), s.cfg.MaxBatch)
+	}
+	ks := s.kset.Load() // one snapshot: the whole response comes from one generation
+	k, err := ks.Kernel(req.Fn, req.Out, req.Mode)
+	if err != nil {
+		return nil, err
+	}
+	nv := req.Out.NumValues()
+	xs := make([]float64, len(req.Inputs))
+	for i, b := range req.Inputs {
+		if b >= nv {
+			return nil, badRequestf("input %d (%#x) is not a %v bit pattern", i, b, req.Out)
+		}
+		xs[i] = req.Out.Decode(b)
+	}
+	dst := make([]uint64, len(xs))
+	if err := k.EvalBatchCtx(ctx, dst, xs); err != nil {
+		s.cfg.Span.Add(obs.CtrServeCanceled, 1)
+		return nil, fault.New(fault.CodeCanceled, "serve", "eval", err).WithFunc(req.Fn.String())
+	}
+	return dst, nil
+}
