@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check check-fault check-store check-serve test race bench bench-parallel bench-pipeline bench-obs bench-eval bench-serve vet build lint lint-json report
+.PHONY: check check-fault check-store check-serve check-campaign test race bench bench-parallel bench-pipeline bench-obs bench-eval bench-serve vet build lint lint-json report
 
 check:
 	@echo '== vet =='
@@ -20,6 +20,8 @@ check:
 	@$(MAKE) --no-print-directory check-store
 	@echo '== check-serve =='
 	@$(MAKE) --no-print-directory check-serve
+	@echo '== check-campaign =='
+	@$(MAKE) --no-print-directory check-campaign
 	@echo '== race =='
 	@$(MAKE) --no-print-directory race
 	@echo '== check: all stages passed =='
@@ -58,8 +60,8 @@ check-fault:
 # each scenario dump its post-run audit verdict and store event log there.
 STORE_WORKERS ?= 2
 STORE_FAULTS ?= on
-STORE_RUN_on  = TestBackend|TestTwoProcessShardClaim|TestShard|TestRemote|TestWire|TestServe|TestEventLog|TestSetFaults|TestRunRejectsEmptyKey|TestRunThroughRemote
-STORE_RUN_off = TestBackendBitIdentity|TestBackendMatrixColdWarm|TestTwoProcessShardClaim|TestShardHeartbeat|TestShardDeadPeer|TestShardLivePeer|TestEventLogConcurrency|TestWireRoundTrip|TestRunThroughRemoteMatchesDisk
+STORE_RUN_on  = TestBackend|TestTwoProcessShardClaim|TestShard|TestSolveShard|TestEvictingStore|TestRemote|TestWire|TestServe|TestEventLog|TestSetFaults|TestRunRejectsEmptyKey|TestRunThroughRemote
+STORE_RUN_off = TestBackendBitIdentity|TestBackendMatrixColdWarm|TestTwoProcessShardClaim|TestShardHeartbeat|TestShardDeadPeer|TestShardLivePeer|TestSolveShardDeterminism|TestSolveShardDeadPeer|TestEvictingStoreBudgetAndLRUOrder|TestEvictingStoreNeverEvictsClaims|TestEventLogConcurrency|TestWireRoundTrip|TestRunThroughRemoteMatchesDisk
 check-store:
 	RLIBM_STORE_WORKERS=$(STORE_WORKERS) $(GO) test -race -timeout 15m \
 		-run '$(STORE_RUN_$(STORE_FAULTS))' ./internal/pipeline/ ./internal/cli/
@@ -70,6 +72,37 @@ check-store:
 # (DESIGN.md §13). Loopback only; -race is part of the contract.
 check-serve:
 	$(GO) test -race -timeout 10m ./internal/serve/
+
+# The campaign gate, in two layers. First the in-process acceptance tests
+# (peer-split byte-identity, killed-peer restart, warm resume, eviction
+# pressure). Then the real thing: two rlibm-campaign worker processes
+# against an rlibm-store peer with a deliberately tiny eviction budget —
+# all race-instrumented — must report a CORRECT sweep, and rerunning the
+# identical command against the still-warm store must report a resumed
+# campaign. BENCH_campaign.json and campaign_report.json land in the repo
+# root for CI to upload (DESIGN.md §14).
+check-campaign:
+	$(GO) test -race -timeout 10m ./internal/campaign/
+	$(eval CAMPAIGN_DIR := $(shell mktemp -d))
+	$(GO) build -race -o $(CAMPAIGN_DIR)/rlibm-store ./cmd/rlibm-store
+	$(GO) build -race -o $(CAMPAIGN_DIR)/rlibm-campaign ./cmd/rlibm-campaign
+	$(CAMPAIGN_DIR)/rlibm-store -listen 127.0.0.1:8095 -mem -max-bytes 4096 \
+	  -pin-stages campaign-manifest & \
+	  srv=$$!; \
+	  sleep 1; \
+	  $(CAMPAIGN_DIR)/rlibm-campaign -store tcp://127.0.0.1:8095 -peers 2 \
+	    -funcs cospi -bits 12 -min-bits 10 -levels 10,12 \
+	    -out BENCH_campaign.json -campaign-report campaign_report.json; \
+	  first=$$?; \
+	  $(CAMPAIGN_DIR)/rlibm-campaign -store tcp://127.0.0.1:8095 -peers 2 \
+	    -funcs cospi -bits 12 -min-bits 10 -levels 10,12 \
+	    -out '' -campaign-report '' > $(CAMPAIGN_DIR)/resume.out 2>&1; \
+	  second=$$?; \
+	  cat $(CAMPAIGN_DIR)/resume.out; \
+	  grep -q 'campaign (resumed)' $(CAMPAIGN_DIR)/resume.out; resumed=$$?; \
+	  kill -TERM $$srv; wait $$srv; drained=$$?; \
+	  rm -rf $(CAMPAIGN_DIR); \
+	  test $$first -eq 0 && test $$second -eq 0 && test $$resumed -eq 0 && test $$drained -eq 0
 
 test:
 	$(GO) test ./...

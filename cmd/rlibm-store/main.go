@@ -29,6 +29,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,6 +44,8 @@ func main() {
 		mem      = flag.Bool("mem", false, "serve an ephemeral in-memory store instead of the disk cache")
 		maxConns = flag.Int("max-conns", 64, "maximum concurrently served connections (0 = unlimited)")
 		idle     = flag.Duration("idle-timeout", 2*time.Minute, "drop a connection idle for this long (0 = never)")
+		maxBytes = flag.Int64("max-bytes", 0, "evict least-recently-used artifacts once the store exceeds this many bytes (0 = unbounded; claims and -pin-stages are never evicted)")
+		pinSpec  = flag.String("pin-stages", "", "comma-separated extra stages protected from eviction (claims are always pinned), e.g. verify,solve")
 		verbose  = flag.Bool("v", false, "log per-connection protocol errors")
 	)
 	flag.Parse()
@@ -51,6 +54,9 @@ func main() {
 	}
 	if *idle < 0 {
 		log.Fatalf("invalid -idle-timeout %v: must be at least 0 (0 = never)", *idle)
+	}
+	if *maxBytes < 0 {
+		log.Fatalf("invalid -max-bytes %d: must be at least 0 (0 = unbounded)", *maxBytes)
 	}
 
 	var backing pipeline.Store
@@ -67,13 +73,26 @@ func main() {
 		backing = st
 	}
 
-	l, err := net.Listen("tcp", *listen)
-	if err != nil {
-		log.Fatal(err)
-	}
 	where := "mem:"
 	if ds, ok := backing.(*pipeline.DiskStore); ok {
 		where = "dir:" + ds.Dir()
+	}
+	var evicting *pipeline.EvictingStore
+	if *maxBytes > 0 {
+		var pins []string
+		for _, st := range strings.Split(*pinSpec, ",") {
+			if st = strings.TrimSpace(st); st != "" {
+				pins = append(pins, st)
+			}
+		}
+		evicting = pipeline.NewEvictingStore(backing, *maxBytes, pins...)
+		backing = evicting
+		where = fmt.Sprintf("%s (LRU budget %d bytes)", where, *maxBytes)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("rlibm-store: serving %s on %s\n", where, l.Addr())
 
@@ -96,6 +115,11 @@ func main() {
 	}
 	if err := backing.Audit(); err != nil {
 		log.Fatalf("rlibm-store: post-run audit: %v", err)
+	}
+	if evicting != nil {
+		st := evicting.Stats()
+		fmt.Printf("rlibm-store: evictions=%d bytes_evicted=%d bytes_live=%d artifacts=%d\n",
+			st.Evictions, st.BytesEvicted, st.BytesLive, st.Artifacts)
 	}
 	fmt.Println("rlibm-store: audit clean")
 }

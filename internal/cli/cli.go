@@ -53,6 +53,12 @@ type Common struct {
 	// slice k of the n-way distributed work partition (claims and work
 	// units published through the shared store). Empty means solo.
 	ShardSpec string
+	// StoreMaxBytes, when positive, wraps the local (dir: or mem:) store
+	// in an LRU eviction policy with this byte budget; claim artifacts
+	// are pinned. 0 disables eviction. Remote stores evict server-side
+	// (rlibm-store -max-bytes), so combining this with tcp:// is
+	// rejected.
+	StoreMaxBytes int64
 	// store is the backend opened by Store(), retained so FinishRun can
 	// record remote transport counters and CloseStore can close it.
 	store pipeline.Store
@@ -88,6 +94,8 @@ func Register(fs *flag.FlagSet) *Common {
 		"artifact store URL: dir:PATH, mem:, or tcp://host:port (default: dir:<cache-dir>)")
 	fs.StringVar(&c.ShardSpec, "shard", "",
 		"distributed work slice k/n: this process claims and computes slice k of n (requires a shared -store)")
+	fs.Int64Var(&c.StoreMaxBytes, "store-max-bytes", 0,
+		"evict least-recently-used artifacts once the local store exceeds this many bytes (0 disables; for tcp:// stores use rlibm-store -max-bytes)")
 	fs.DurationVar(&c.Timeout, "timeout", 0,
 		"abort the run after this duration (0 disables); an aborted run leaves the cache resumable")
 	fs.BoolVar(&c.Verbose, "v", false,
@@ -119,15 +127,26 @@ func (c *Common) Validate() error {
 	// A deadline shorter than one claim-poll interval cannot even survive
 	// a single distributed-claim wait: every sharded run would die with a
 	// spurious cancel instead of a diagnostic. Reject it up front.
-	if c.Timeout > 0 && c.Timeout < claimPollInterval {
+	if c.Timeout > 0 && c.Timeout < gen.ClaimPollInterval {
 		return fmt.Errorf("invalid -timeout %v: must be at least %v, one claim poll interval (0 disables the deadline)",
-			c.Timeout, claimPollInterval)
+			c.Timeout, gen.ClaimPollInterval)
 	}
 	if _, err := gen.ParseShard(c.ShardSpec); err != nil {
 		return err
 	}
-	if _, _, err := splitStoreURL(c.StoreURL); err != nil {
+	scheme, _, err := splitStoreURL(c.StoreURL)
+	if err != nil {
 		return err
+	}
+	if c.StoreMaxBytes < 0 {
+		return fmt.Errorf("invalid -store-max-bytes %d: must be at least 0 (0 disables eviction)", c.StoreMaxBytes)
+	}
+	// A remote client cannot evict for the server: its view of the store
+	// is one connection among many, so a client-side budget would evict
+	// peers' artifacts on partial information. Eviction for tcp:// stores
+	// belongs on the serving side.
+	if c.StoreMaxBytes > 0 && scheme == "tcp" {
+		return fmt.Errorf("invalid -store-max-bytes %d: must be at least 0 and used with a local store; a tcp:// store evicts server-side (rlibm-store -max-bytes)", c.StoreMaxBytes)
 	}
 	return nil
 }
@@ -197,6 +216,12 @@ func (c *Common) FinishRun(rec *obs.Recorder, command string) error {
 		root.Add(obs.CtrRemoteRetries, st.Retries)
 		root.Add(obs.CtrRemoteBytesSent, st.BytesSent)
 		root.Add(obs.CtrRemoteBytesRecv, st.BytesRecv)
+	}
+	if es, ok := c.store.(*pipeline.EvictingStore); ok {
+		st := es.Stats()
+		root := rec.Root()
+		root.Add(obs.CtrStoreEvictions, st.Evictions)
+		root.Add(obs.CtrStoreBytesLive, st.BytesLive)
 	}
 	rec.Root().End()
 	rep := rec.Report()
@@ -327,6 +352,11 @@ func (c *Common) Store() (pipeline.Store, error) {
 		}
 		c.store = st
 	}
+	if c.StoreMaxBytes > 0 {
+		// Validate rejected tcp + -store-max-bytes, so this only wraps
+		// local backends.
+		c.store = pipeline.NewEvictingStore(c.store, c.StoreMaxBytes)
+	}
 	return c.store, nil
 }
 
@@ -397,10 +427,12 @@ func GenerateVerified(ctx context.Context, fn bigmath.Func, opt gen.Options, sto
 
 // GenerateVerifiedSharded is GenerateVerified for one process of a
 // distributed run: the exhaustive verification sweeps are split into
-// shard.N content-addressed work units in the shared store, this process
-// claims and computes slice shard.K, and every process assembles the
-// merged result bit-identically to a solo run (see repairSharded). The
-// solo shard (or a nil store) degrades to exactly GenerateVerified.
+// shard.N content-addressed work units in the shared store (see
+// repairSharded), the per-piece Clarkson solves become round-robin-dealt
+// work units inside the Solve stage (gen.GenerateStagedSharded), this
+// process claims and computes its share, and every process assembles the
+// merged result bit-identically to a solo run. The solo shard (or a nil
+// store) degrades to exactly GenerateVerified.
 func GenerateVerifiedSharded(ctx context.Context, fn bigmath.Func, opt gen.Options, store pipeline.Store, shard gen.Shard) (res *gen.Result, patched int, err error) {
 	orc := opt.Oracle
 	if orc == nil {
@@ -422,7 +454,7 @@ func GenerateVerifiedSharded(ctx context.Context, fn bigmath.Func, opt gen.Optio
 	before := orc.Stats()
 	res, _, err = pipeline.Run(ctx, store, gen.VerifyKey(fn, opt), gen.ResultCodec,
 		pipeline.Logf(opt.Logf), func(ctx context.Context) (*gen.Result, error) {
-			r, err := gen.GenerateStaged(ctx, fn, opt, store)
+			r, err := gen.GenerateStagedSharded(ctx, fn, opt, store, shard)
 			if err != nil {
 				return nil, err
 			}

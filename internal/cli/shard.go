@@ -3,10 +3,8 @@ package cli
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"repro/internal/bigmath"
-	"repro/internal/fault"
 	"repro/internal/fp"
 	"repro/internal/gen"
 	"repro/internal/oracle"
@@ -16,18 +14,20 @@ import (
 )
 
 // Distributed verification. The exhaustive Verify/Repair sweeps dominate a
-// cold run, so they are the first workload split across processes: each
+// cold run, so they were the first workload split across processes: each
 // (level, pass) sweep of verify.Repair is partitioned into shard.N
 // contiguous input slices, each slice a content-addressed work unit
 // (gen.VerifyShardKey) in the shared store. Every process computes the
-// units it owns (publishing a claim first), assembles the rest from the
-// store — polling briefly for units a live peer has claimed, computing
-// locally otherwise — and merges the per-slice reports in ascending slice
-// order. verify.MergeReports makes that merge bit-identical to a solo
-// sweep for any partition, and gen.Result.AddSpecial keeps each level's
-// special table sorted, so the patch set — and therefore every emitted
-// coefficient — is bit-identical to a single-process run no matter which
-// process computed which slice.
+// units it owns (publishing a claim first), assembles the rest with
+// gen.FetchUnit — polling briefly for units a live peer has claimed,
+// computing locally otherwise — and merges the per-slice reports in
+// ascending slice order. verify.MergeReports makes that merge
+// bit-identical to a solo sweep for any partition, and
+// gen.Result.AddSpecial keeps each level's special table sorted, so the
+// patch set — and therefore every emitted coefficient — is bit-identical
+// to a single-process run no matter which process computed which slice.
+// The claim protocol itself (poll/heartbeat/stall constants, FetchUnit)
+// lives in internal/gen, shared with the distributed solve units.
 
 // shardReportCodec encodes one verification work unit's per-mode reports.
 var shardReportCodec = pipeline.Codec[[]verify.Report]{
@@ -74,52 +74,6 @@ var shardReportCodec = pipeline.Codec[[]verify.Report]{
 	},
 }
 
-// claimPollAttempts × claimPollInterval bounds how long the assembler
-// waits for a peer's claimed unit before computing it locally. The wait is
-// pure scheduling — which process computes a unit never changes the unit's
-// bytes — so the timing cannot influence generated coefficients.
-//
-// Within that window, liveness is judged by the claim's heartbeat stamp: a
-// computing shard refreshes its claim every heartbeatInterval, and a poller
-// that sees the same stamp for claimStallBudget consecutive polls declares
-// the owner dead and reclaims the unit well before the full window expires.
-// The stall budget is several heartbeats wide so scheduler hiccups on the
-// computing side don't trigger spurious (harmless, but wasteful) takeovers.
-const (
-	claimPollAttempts = 40
-	claimPollInterval = 50 * time.Millisecond
-	heartbeatInterval = claimPollInterval
-	claimStallBudget  = 10
-)
-
-// startClaimHeartbeat refreshes shard's claim on unit with an advancing
-// stamp until the returned stop function is called. The stamp is a local
-// monotonic sequence — never a clock reading — so the sealed claim bytes
-// stay deterministic per tick.
-func startClaimHeartbeat(st pipeline.Store, unit pipeline.Key, shard gen.Shard) (stop func()) {
-	done := make(chan struct{})
-	finished := make(chan struct{})
-	go func() {
-		defer close(finished)
-		t := time.NewTicker(heartbeatInterval)
-		defer t.Stop()
-		stamp := uint64(0)
-		for {
-			select {
-			case <-done:
-				return
-			case <-t.C:
-				stamp++
-				gen.RefreshClaim(st, unit, shard, stamp)
-			}
-		}
-	}()
-	return func() {
-		close(done)
-		<-finished
-	}
-}
-
 // repairSharded is verify.Repair with the exhaustive sweeps distributed:
 // it mirrors Repair's control flow exactly — per level, round-to-nearest
 // for the smaller levels and all standard modes for the last (or every,
@@ -164,7 +118,7 @@ func repairSharded(ctx context.Context, st pipeline.Store, fn bigmath.Func, opt 
 				if !gen.Claim(st, key, shard, opt.Faults) {
 					continue // a peer took this unit over; assembled below
 				}
-				stopHB := startClaimHeartbeat(st, key, shard)
+				stopHB := gen.StartClaimHeartbeat(ctx, st, key, shard)
 				reps, _, err := pipeline.Run(ctx, st, key, shardReportCodec, logf, compute(u))
 				stopHB()
 				if err != nil {
@@ -178,7 +132,7 @@ func repairSharded(ctx context.Context, st pipeline.Store, fn bigmath.Func, opt 
 					continue
 				}
 				key := gen.VerifyShardKey(fn, opt, li, pass, j, len(units))
-				reps, err := fetchUnit(ctx, st, key, shard, opt.Faults, logf, compute(u))
+				reps, err := gen.FetchUnit(ctx, st, key, shard, opt.Faults, logf, shardReportCodec, compute(u))
 				if err != nil {
 					return patched, err
 				}
@@ -205,56 +159,4 @@ func repairSharded(ctx context.Context, st pipeline.Store, fn bigmath.Func, opt 
 		}
 	}
 	return patched, nil
-}
-
-// fetchUnit obtains one work unit another shard owns: probe the store,
-// and while a peer's claim stands AND its heartbeat stamp keeps advancing,
-// poll within the grace window. A unit that never appears — no claim, a
-// stale claim (SiteClaimStale), a dead peer whose stamp stops advancing
-// for claimStallBudget polls, or a peer that stalled past the window — is
-// claimed and computed locally, which at worst duplicates a peer's
-// byte-identical artifact.
-func fetchUnit(ctx context.Context, st pipeline.Store, key pipeline.Key, shard gen.Shard,
-	faults *fault.Plan, logf pipeline.Logf, compute func(context.Context) ([]verify.Report, error)) ([]verify.Report, error) {
-
-	var last gen.ClaimInfo
-	haveLast, stalls, expired := false, 0, false
-	for attempt := 0; !expired; attempt++ {
-		if reps, ok := pipeline.Probe(st, key, shardReportCodec); ok {
-			return reps, nil
-		}
-		c, claimed := gen.ClaimedBy(st, key, faults)
-		if !claimed || c.Owner == shard.Owner() || attempt >= claimPollAttempts {
-			break
-		}
-		if haveLast && c == last {
-			stalls++
-			if stalls >= claimStallBudget {
-				expired = true
-				if logf != nil {
-					logf("%s %s: claim by %s unrefreshed for %d polls, reclaiming",
-						key.Func, key.Stage, c.Owner, stalls)
-				}
-				continue
-			}
-		} else {
-			last, haveLast, stalls = c, true, 0
-		}
-		select {
-		case <-ctx.Done():
-			return nil, fault.New(fault.CodeCanceled, gen.StageVerifyShard, "fetch", ctx.Err()).WithFunc(key.Func)
-		case <-time.After(claimPollInterval):
-		}
-	}
-	if expired {
-		// The dead peer's claim stands in the store; an ordinary Claim
-		// would defer to it. Take it over unconditionally — claims are
-		// last-writer-wins dedup, so the worst case (the peer was alive
-		// after all) is one duplicated byte-identical unit.
-		gen.RefreshClaim(st, key, shard, 0)
-	} else {
-		gen.Claim(st, key, shard, faults)
-	}
-	reps, _, err := pipeline.Run(ctx, st, key, shardReportCodec, logf, compute)
-	return reps, err
 }

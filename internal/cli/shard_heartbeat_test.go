@@ -12,11 +12,11 @@ import (
 	"repro/internal/verify"
 )
 
-// Claim heartbeat and expiry unit tests (package-internal: they drive
-// fetchUnit and startClaimHeartbeat directly). The contract: a computing
+// Claim heartbeat and expiry unit tests: they drive
+// gen.FetchUnit and gen.StartClaimHeartbeat directly. The contract: a computing
 // shard keeps its claim's stamp advancing, a poller waits as long as the
 // stamp moves, and a claim whose stamp freezes is reclaimed after
-// claimStallBudget polls — well before the full claimPollAttempts window.
+// gen.ClaimStallBudget polls — well before the full gen.ClaimPollAttempts window.
 
 // hbUnitKey is a throwaway work-unit key for the claim tests.
 func hbUnitKey() pipeline.Key {
@@ -45,7 +45,7 @@ func TestShardHeartbeatAdvancesStamp(t *testing.T) {
 	if !gen.Claim(st, key, shard, nil) {
 		t.Fatal("initial claim failed on an empty store")
 	}
-	stop := startClaimHeartbeat(st, key, shard)
+	stop := gen.StartClaimHeartbeat(context.Background(), st, key, shard)
 
 	deadline := time.Now().Add(10 * time.Second)
 	var seen uint64
@@ -64,7 +64,7 @@ func TestShardHeartbeatAdvancesStamp(t *testing.T) {
 			t.Fatalf("stamp went backwards: %d after %d", c.Stamp, seen)
 		}
 		seen = c.Stamp
-		time.Sleep(heartbeatInterval / 2)
+		time.Sleep(gen.HeartbeatInterval / 2)
 	}
 	stop()
 
@@ -73,15 +73,15 @@ func TestShardHeartbeatAdvancesStamp(t *testing.T) {
 		t.Fatal("claim vanished after stop")
 	}
 	frozen := c.Stamp
-	time.Sleep(4 * heartbeatInterval)
+	time.Sleep(4 * gen.HeartbeatInterval)
 	if c, _ := gen.ClaimedBy(st, key, nil); c.Stamp != frozen {
 		t.Errorf("stamp advanced from %d to %d after stop", frozen, c.Stamp)
 	}
 }
 
 // TestShardDeadPeerReclaimedEarly: a peer claim whose stamp never advances
-// is treated as dead after claimStallBudget polls, so fetchUnit computes
-// the unit locally long before the full claimPollAttempts window.
+// is treated as dead after gen.ClaimStallBudget polls, so FetchUnit computes
+// the unit locally long before the full gen.ClaimPollAttempts window.
 func TestShardDeadPeerReclaimedEarly(t *testing.T) {
 	st := pipeline.NewMemStore()
 	key := hbUnitKey()
@@ -95,7 +95,7 @@ func TestShardDeadPeerReclaimedEarly(t *testing.T) {
 		return hbReports(), nil
 	}
 	start := time.Now()
-	reps, err := fetchUnit(context.Background(), st, key, gen.Shard{K: 0, N: 2}, nil, nil, compute)
+	reps, err := gen.FetchUnit(context.Background(), st, key, gen.Shard{K: 0, N: 2}, nil, nil, shardReportCodec, compute)
 	elapsed := time.Since(start)
 	if err != nil {
 		t.Fatal(err)
@@ -109,7 +109,7 @@ func TestShardDeadPeerReclaimedEarly(t *testing.T) {
 	// The stall budget is 10 polls (~500ms); the full window is 40
 	// (~2s). Half the window is an ample scheduling margin that still
 	// proves the early-expiry path ran.
-	if budget := claimPollAttempts * claimPollInterval; elapsed >= budget/2 {
+	if budget := gen.ClaimPollAttempts * gen.ClaimPollInterval; elapsed >= budget/2 {
 		t.Errorf("reclaim took %v, want well under the %v poll window", elapsed, budget)
 	}
 	if c, ok := gen.ClaimedBy(st, key, nil); !ok || c.Owner != (gen.Shard{K: 0, N: 2}).Owner() {
@@ -118,7 +118,7 @@ func TestShardDeadPeerReclaimedEarly(t *testing.T) {
 }
 
 // TestShardLivePeerAwaited: while a peer's heartbeat keeps the claim
-// fresh, fetchUnit keeps polling — past the stall budget — and returns the
+// fresh, FetchUnit keeps polling — past the stall budget — and returns the
 // peer's published artifact without ever computing locally.
 func TestShardLivePeerAwaited(t *testing.T) {
 	st := pipeline.NewMemStore()
@@ -127,12 +127,12 @@ func TestShardLivePeerAwaited(t *testing.T) {
 	if !gen.Claim(st, key, peer, nil) {
 		t.Fatal("peer claim failed on an empty store")
 	}
-	stopHB := startClaimHeartbeat(st, key, peer)
+	stopHB := gen.StartClaimHeartbeat(context.Background(), st, key, peer)
 	defer stopHB()
 
 	// The peer "finishes" its unit after the stall budget would have
 	// expired for a dead claim, proving the heartbeat kept it alive.
-	publishAfter := (claimStallBudget + 5) * claimPollInterval
+	publishAfter := (gen.ClaimStallBudget + 5) * gen.ClaimPollInterval
 	timer := time.AfterFunc(publishAfter, func() {
 		if err := st.Put(key, shardReportCodec.Name, shardReportCodec.Version, sealReports(hbReports())); err != nil {
 			t.Errorf("peer publish: %v", err)
@@ -145,12 +145,12 @@ func TestShardLivePeerAwaited(t *testing.T) {
 		computed.Store(true)
 		return hbReports(), nil
 	}
-	reps, err := fetchUnit(context.Background(), st, key, gen.Shard{K: 0, N: 2}, nil, nil, compute)
+	reps, err := gen.FetchUnit(context.Background(), st, key, gen.Shard{K: 0, N: 2}, nil, nil, shardReportCodec, compute)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if computed.Load() {
-		t.Error("fetchUnit computed locally despite a live, heartbeating peer")
+		t.Error("FetchUnit computed locally despite a live, heartbeating peer")
 	}
 	if len(reps) != 1 || reps[0].Checked != 1024 {
 		t.Errorf("unexpected reports: %+v", reps)

@@ -1,0 +1,192 @@
+package cli_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cli"
+	"repro/internal/gen"
+	"repro/internal/pipeline"
+)
+
+// Distributed-solve acceptance tests: with -shard active, the per-piece
+// Clarkson solves become claimable work units in the shared store, and
+// the assembled coefficients — including the sealed effort stats — must
+// be bit-identical to a solo run for every partition, worker count, and
+// failure pattern. These are the solve-stage siblings of the verify-shard
+// tests in store_test.go.
+
+// TestSolveShardDeterminism is the partition × worker matrix: solo with a
+// store (sharding dormant), and a 2/2 split over a shared loopback store,
+// at one and four workers, all emitting bytes identical to the store-less
+// solo reference.
+func TestSolveShardDeterminism(t *testing.T) {
+	ref, _, err := cli.GenerateVerified(context.Background(), testFn, progOpts(1), nil)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	refEmit := []byte(gen.EmitGo(ref, "libm", "registerTest"))
+
+	for _, workers := range []int{1, storeWorkers(4)} {
+		workers := workers
+		t.Run(fmt.Sprintf("solo-1.1-w%d", workers), func(t *testing.T) {
+			st := pipeline.NewMemStore()
+			res, _, err := cli.GenerateVerifiedSharded(context.Background(), testFn, progOpts(workers), st, gen.Shard{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal([]byte(gen.EmitGo(res, "libm", "registerTest")), refEmit) {
+				t.Error("solo run over a store differs from the store-less reference")
+			}
+			// Solo runs must not pay the work-unit machinery.
+			if n := st.CountEvents(gen.StageSolveShard, false) + st.CountEvents(gen.StageSolveShard, true); n != 0 {
+				t.Errorf("solo run touched %d solve-shard units; sharding should be dormant", n)
+			}
+		})
+		t.Run(fmt.Sprintf("split-2.2-w%d", workers), func(t *testing.T) {
+			backing := pipeline.NewMemStore()
+			addr := startStoreServer(t, backing)
+			clients := []*pipeline.RemoteStore{dialStore(t, addr), dialStore(t, addr)}
+			emits := make([][]byte, 2)
+			errs := make([]error, 2)
+			var wg sync.WaitGroup
+			for k := 0; k < 2; k++ {
+				k := k
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					res, _, err := cli.GenerateVerifiedSharded(context.Background(), testFn,
+						progOpts(workers), clients[k], gen.Shard{K: k, N: 2})
+					if err != nil {
+						errs[k] = err
+						return
+					}
+					emits[k] = []byte(gen.EmitGo(res, "libm", "registerTest"))
+				}()
+			}
+			wg.Wait()
+			for k := 0; k < 2; k++ {
+				if errs[k] != nil {
+					t.Fatalf("shard %d/2: %v", k, errs[k])
+				}
+				if !bytes.Equal(emits[k], refEmit) {
+					t.Errorf("shard %d/2 assembled different bytes than the reference", k)
+				}
+			}
+			units := 0
+			for _, cl := range clients {
+				units += cl.CountEvents(gen.StageSolveShard, false) + cl.CountEvents(gen.StageSolveShard, true)
+			}
+			if units == 0 {
+				t.Error("no solve-shard work units were exchanged; the solves did not distribute")
+			}
+			if err := backing.Audit(); err != nil {
+				t.Errorf("shared store audit: %v", err)
+			}
+		})
+	}
+}
+
+// TestSolveShardDeadPeer kills a peer mid-solve: shard 1/2's claim on the
+// first solve unit sits in the store with a heartbeat stamp that never
+// advances. The surviving shard 0/2 must detect the frozen stamp via the
+// stall budget, reclaim the unit, and still assemble the reference bytes.
+func TestSolveShardDeadPeer(t *testing.T) {
+	ref, _, err := cli.GenerateVerified(context.Background(), testFn, progOpts(storeWorkers(2)), nil)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	refEmit := []byte(gen.EmitGo(ref, "libm", "registerTest"))
+
+	backing := pipeline.NewMemStore()
+	// The dead peer: claimed the first escalation attempt's unit of kernel
+	// 0 (pieces=1, piece 0 — the first unit every run requests) and died.
+	dead := gen.Shard{K: 1, N: 2}
+	frozen := gen.SolveShardKey(testFn, progOpts(storeWorkers(2)), 0, 1, 0)
+	gen.RefreshClaim(backing, frozen, dead, 3)
+
+	var mu sync.Mutex
+	var logs []string
+	opt := progOpts(storeWorkers(2))
+	opt.Logf = func(format string, args ...interface{}) {
+		mu.Lock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	res, _, err := cli.GenerateVerifiedSharded(context.Background(), testFn, opt, backing, gen.Shard{K: 0, N: 2})
+	if err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+	if !bytes.Equal([]byte(gen.EmitGo(res, "libm", "registerTest")), refEmit) {
+		t.Error("survivor assembled different bytes than the reference")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, line := range logs {
+		if strings.Contains(line, "unrefreshed") && strings.Contains(line, dead.Owner()) {
+			return
+		}
+	}
+	t.Errorf("survivor never reported reclaiming the dead peer's stalled claim; logs:\n%s", strings.Join(logs, "\n"))
+}
+
+// TestSolveShardEvictedStore is the eviction acceptance test: a 2/2 split
+// over a served store wrapped in a deliberately tiny LRU budget — unit
+// artifacts are evicted and recomputed mid-run — must still emit the
+// reference bytes, because eviction only forgets cache entries and every
+// recomputation is deterministic. Claims must survive the pressure (they
+// are pinned), or stall detection would misfire.
+func TestSolveShardEvictedStore(t *testing.T) {
+	ref, _, err := cli.GenerateVerified(context.Background(), testFn, progOpts(storeWorkers(2)), nil)
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+	refEmit := []byte(gen.EmitGo(ref, "libm", "registerTest"))
+
+	evicting := pipeline.NewEvictingStore(pipeline.NewMemStore(), 2<<10)
+	addr := startStoreServer(t, evicting)
+	clients := []*pipeline.RemoteStore{dialStore(t, addr), dialStore(t, addr)}
+	emits := make([][]byte, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for k := 0; k < 2; k++ {
+		k := k
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, _, err := cli.GenerateVerifiedSharded(context.Background(), testFn,
+				progOpts(storeWorkers(2)), clients[k], gen.Shard{K: k, N: 2})
+			if err != nil {
+				errs[k] = err
+				return
+			}
+			emits[k] = []byte(gen.EmitGo(res, "libm", "registerTest"))
+		}()
+	}
+	wg.Wait()
+	for k := 0; k < 2; k++ {
+		if errs[k] != nil {
+			t.Fatalf("shard %d/2: %v", k, errs[k])
+		}
+		if !bytes.Equal(emits[k], refEmit) {
+			t.Errorf("shard %d/2 over the evicting store differs from the un-evicted reference", k)
+		}
+	}
+	st := evicting.Stats()
+	if st.Evictions == 0 {
+		t.Error("the 2KiB budget never evicted; the scenario did not exercise eviction")
+	}
+	if st.BytesLive > 2<<10 {
+		// Claims are pinned and the newest write is exempt, so a small
+		// overshoot is legal — but live bytes must stay the same order of
+		// magnitude as the budget, not the full artifact set.
+		t.Logf("bytes live %d over budget %d (pinned claims + newest write)", st.BytesLive, 2<<10)
+	}
+	if err := evicting.Audit(); err != nil {
+		t.Errorf("evicting store audit: %v", err)
+	}
+}

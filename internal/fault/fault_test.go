@@ -132,7 +132,7 @@ func TestSitesCoversAllConstants(t *testing.T) {
 		}
 		seen[s] = true
 	}
-	if len(sites) != 11 {
-		t.Errorf("Sites() has %d entries, want 11 — update Sites() when adding a Site constant", len(sites))
+	if len(sites) != 12 {
+		t.Errorf("Sites() has %d entries, want 12 — update Sites() when adding a Site constant", len(sites))
 	}
 }

@@ -42,6 +42,12 @@ const (
 	// SiteRemoteShort: a remote response frame arrives truncated, so its
 	// checksum cannot verify; treated exactly like a dropped connection.
 	SiteRemoteShort Site = "store.remote.short"
+	// SiteStoreEvict: the evicting store evicts its least-recently-used
+	// unpinned artifact even though the byte budget is not exceeded.
+	// Tests use it to force evicted-then-refetched artifacts through the
+	// pipeline without tuning budgets; eviction only removes cache
+	// entries, so the injected run's bytes stay identical.
+	SiteStoreEvict Site = "store.evict"
 	// SiteClaimStale: a shard-claim artifact reads back stale or foreign,
 	// so the worker abandons waiting on the claimed peer and computes the
 	// work unit itself — recovering bit-identically by construction.
@@ -54,7 +60,7 @@ func Sites() []Site {
 	return []Site{
 		SiteStoreWrite, SiteStoreWriteShort, SiteStoreRead, SiteStoreBitFlip,
 		SiteSolverSample, SiteSolverBudget, SiteWorkerPanic, SiteOracleZiv,
-		SiteRemoteConn, SiteRemoteShort, SiteClaimStale,
+		SiteRemoteConn, SiteRemoteShort, SiteClaimStale, SiteStoreEvict,
 	}
 }
 

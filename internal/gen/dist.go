@@ -1,0 +1,121 @@
+package gen
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/pipeline"
+)
+
+// Shared distribution machinery: the claim-poll/heartbeat protocol every
+// distributed stage rides on. Two workloads use it today — the exhaustive
+// verification slices (VerifyShardKey, assembled by internal/cli) and the
+// per-piece Clarkson solve units (SolveShardKey, assembled by the Solve
+// stage itself) — with identical semantics: a unit is an ordinary
+// content-addressed artifact, a claim is an advisory last-writer-wins
+// marker next to it, and liveness is judged by a monotonic heartbeat
+// stamp, never a clock.
+
+// ClaimPollAttempts × ClaimPollInterval bounds how long an assembler
+// waits for a peer's claimed unit before computing it locally. The wait is
+// pure scheduling — which process computes a unit never changes the unit's
+// bytes — so the timing cannot influence generated coefficients.
+//
+// Within that window, liveness is judged by the claim's heartbeat stamp: a
+// computing shard refreshes its claim every HeartbeatInterval, and a poller
+// that sees the same stamp for ClaimStallBudget consecutive polls declares
+// the owner dead and reclaims the unit well before the full window expires.
+// The stall budget is several heartbeats wide so scheduler hiccups on the
+// computing side don't trigger spurious (harmless, but wasteful) takeovers.
+const (
+	ClaimPollAttempts = 40
+	ClaimPollInterval = 50 * time.Millisecond
+	HeartbeatInterval = ClaimPollInterval
+	ClaimStallBudget  = 10
+)
+
+// StartClaimHeartbeat refreshes shard's claim on unit with an advancing
+// stamp until the returned stop function is called or ctx is canceled —
+// the loop is bounded by the unit computation it shadows, and the context
+// covers the path where that computation dies without reaching its stop.
+// The stamp is a local monotonic sequence — never a clock reading — so
+// the sealed claim bytes stay deterministic per tick.
+func StartClaimHeartbeat(ctx context.Context, st pipeline.Store, unit pipeline.Key, shard Shard) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(HeartbeatInterval)
+		defer t.Stop()
+		stamp := uint64(0)
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				stamp++
+				RefreshClaim(st, unit, shard, stamp)
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// FetchUnit obtains one work unit another shard owns: probe the store,
+// and while a peer's claim stands AND its heartbeat stamp keeps advancing,
+// poll within the grace window. A unit that never appears — no claim, a
+// stale claim (SiteClaimStale), a dead peer whose stamp stops advancing
+// for ClaimStallBudget polls, or a peer that stalled past the window — is
+// claimed and computed locally, which at worst duplicates a peer's
+// byte-identical artifact.
+func FetchUnit[T any](ctx context.Context, st pipeline.Store, key pipeline.Key, shard Shard,
+	faults *fault.Plan, logf pipeline.Logf, codec pipeline.Codec[T], compute func(context.Context) (T, error)) (T, error) {
+
+	var last ClaimInfo
+	haveLast, stalls, expired := false, 0, false
+	for attempt := 0; !expired; attempt++ {
+		if v, ok := pipeline.Probe(st, key, codec); ok {
+			return v, nil
+		}
+		c, claimed := ClaimedBy(st, key, faults)
+		if !claimed || c.Owner == shard.Owner() || attempt >= ClaimPollAttempts {
+			break
+		}
+		if haveLast && c == last {
+			stalls++
+			if stalls >= ClaimStallBudget {
+				expired = true
+				if logf != nil {
+					logf("%s %s: claim by %s unrefreshed for %d polls, reclaiming",
+						key.Func, key.Stage, c.Owner, stalls)
+				}
+				continue
+			}
+		} else {
+			last, haveLast, stalls = c, true, 0
+		}
+		select {
+		case <-ctx.Done():
+			var zero T
+			return zero, fault.New(fault.CodeCanceled, key.Stage, "fetch", ctx.Err()).WithFunc(key.Func)
+		case <-time.After(ClaimPollInterval):
+		}
+	}
+	if expired {
+		// The dead peer's claim stands in the store; an ordinary Claim
+		// would defer to it. Take it over unconditionally — claims are
+		// last-writer-wins dedup, so the worst case (the peer was alive
+		// after all) is one duplicated byte-identical unit.
+		RefreshClaim(st, key, shard, 0)
+	} else {
+		Claim(st, key, shard, faults)
+	}
+	v, _, err := pipeline.Run(ctx, st, key, codec, logf, compute)
+	return v, err
+}

@@ -45,6 +45,13 @@ func (s Shard) String() string { return fmt.Sprintf("%d/%d", s.K, s.N) }
 // assigned to this shard.
 func (s Shard) Mine(j int) bool { return s.Solo() || j == s.K }
 
+// Owns reports whether work unit j of an arbitrary-length work list is
+// assigned to this shard. Unlike Mine — which matches partitions built
+// with exactly N units — Owns deals units round-robin (unit j belongs to
+// shard j mod N), so it distributes work lists of any length, like the
+// per-piece solve units whose count follows the adaptive escalation.
+func (s Shard) Owns(j int) bool { return s.Solo() || j%s.N == s.K }
+
 // ParseShard parses a -shard flag value "k/n"; the empty string is the
 // solo shard.
 func ParseShard(v string) (Shard, error) {
@@ -83,8 +90,10 @@ func VerifyShardKey(fn bigmath.Func, opt Options, li, pass, j, n int) pipeline.K
 const StageVerifyShard = "verify-shard"
 
 // StageClaim names the claim stage. One claim artifact sits next to each
-// work unit, addressed by the unit's own key components.
-const StageClaim = "claim"
+// work unit, addressed by the unit's own key components. The name is
+// pinned in internal/pipeline so the evicting store can protect claims
+// without importing this package.
+const StageClaim = pipeline.StageClaim
 
 // claimKey derives the claim artifact key of a work unit.
 func claimKey(unit pipeline.Key) pipeline.Key {

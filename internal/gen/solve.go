@@ -15,6 +15,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/oracle"
 	"repro/internal/parallel"
+	"repro/internal/pipeline"
 	"repro/internal/poly"
 	"repro/internal/reduction"
 )
@@ -46,7 +47,7 @@ func poolFault(err error, stage string, fn bigmath.Func) error {
 // returned Result carries only deterministic fields (the volatile Duration
 // and Oracle stats are filled in by the caller).
 func solveAll(ctx context.Context, fn bigmath.Func, scheme reduction.Scheme, cs *constraintSet,
-	orc *oracle.Oracle, opt Options, logf func(string, ...interface{})) (*Result, error) {
+	orc *oracle.Oracle, opt Options, store pipeline.Store, shard Shard, logf func(string, ...interface{})) (*Result, error) {
 
 	res := &Result{
 		Fn:            fn,
@@ -56,7 +57,7 @@ func solveAll(ctx context.Context, fn bigmath.Func, scheme reduction.Scheme, cs 
 	}
 
 	for p := 0; p < scheme.NumPolys(); p++ {
-		kp, err := solveKernel(ctx, fn, scheme, cs, p, opt, res, logf)
+		kp, err := solveKernel(ctx, fn, scheme, cs, p, opt, store, shard, res, logf)
 		if err != nil {
 			return nil, err
 		}
@@ -176,7 +177,7 @@ const maxInjectedReplays = 4
 // budget escalation and graceful degradation. Consumed rungs are recorded
 // in Stats so the solve artifact pins them.
 func solveKernel(ctx context.Context, fn bigmath.Func, scheme reduction.Scheme, cs *constraintSet, p int,
-	opt Options, res *Result, logf func(string, ...interface{})) (*KernelPoly, error) {
+	opt Options, store pipeline.Store, shard Shard, res *Result, logf func(string, ...interface{})) (*KernelPoly, error) {
 
 	rungs := rescueRungs()
 	for ri, rg := range rungs {
@@ -191,7 +192,7 @@ func solveKernel(ctx context.Context, fn bigmath.Func, scheme reduction.Scheme, 
 		if ri > 0 {
 			logf("  kernel %d: rescue rung %d (%s)", p, ri, rg.name)
 		}
-		kp, err := solveKernelAttempt(ctx, fn, scheme, cs, p, eff, rg.forceExact, res, logf)
+		kp, err := solveKernelAttempt(ctx, fn, scheme, cs, p, eff, rg.forceExact, store, shard, res, logf)
 		if err != nil {
 			return nil, err
 		}
@@ -220,6 +221,18 @@ func solveKernel(ctx context.Context, fn bigmath.Func, scheme reduction.Scheme, 
 		WithFunc(fn.String()).WithPiece(p, -1).WithAttempt(len(rungs))
 }
 
+// pieceOut is one piece solve's outcome, merged into the kernel result in
+// deterministic piece order. retries counts local injected-fault replays;
+// it is volatile — never sealed into a solve-shard unit artifact — because
+// only the process that consumed the injection replays.
+type pieceOut struct {
+	piece   *Piece
+	viols   []violation
+	stats   solveStats
+	found   bool
+	retries int
+}
+
 // solveKernelAttempt runs one rung of the search for kernel p: the
 // adaptive pieces escalation with the rung's effective budgets. Within one
 // escalation attempt the sub-domain pieces are independent constraint
@@ -228,10 +241,13 @@ func solveKernel(ctx context.Context, fn bigmath.Func, scheme reduction.Scheme, 
 // solve that consumed injected solver faults is discarded and replayed
 // with an identically seeded generator — the injection plan's occurrence
 // counters have moved past the scheduled faults, so the replay reproduces
-// the no-fault solve bit for bit. It returns (nil, nil) when the ladder
-// ran dry, leaving the rescue decision to solveKernel.
+// the no-fault solve bit for bit. A non-solo shard with a live store runs
+// the pieces as distributed work units instead of one in-process pool
+// sweep (see solvePiecesSharded); the merged kernel is bit-identical
+// either way. It returns (nil, nil) when the ladder ran dry, leaving the
+// rescue decision to solveKernel.
 func solveKernelAttempt(ctx context.Context, fn bigmath.Func, scheme reduction.Scheme, cs *constraintSet, p int,
-	opt Options, forceExact bool, res *Result, logf func(string, ...interface{})) (*KernelPoly, error) {
+	opt Options, forceExact bool, store pipeline.Store, shard Shard, res *Result, logf func(string, ...interface{})) (*KernelPoly, error) {
 
 	domLo, domHi := scheme.ReducedDomain()
 	st := scheme.Structure(p)
@@ -243,15 +259,7 @@ func solveKernelAttempt(ctx context.Context, fn bigmath.Func, scheme reduction.S
 	}
 	for pieces := startPieces; pieces <= maxPieces; pieces *= 2 {
 		bounds := splitDomain(domLo, domHi, pieces)
-		type pieceOut struct {
-			piece   *Piece
-			viols   []violation
-			stats   solveStats
-			found   bool
-			retries int
-		}
-		outs := make([]pieceOut, pieces)
-		if err := parallel.ForEachErr(ctx, opt.Workers, pieces, func(pi int) error {
+		computePiece := func(ctx context.Context, pi int) (pieceOut, error) {
 			if opt.Faults.Should(fault.SiteWorkerPanic) {
 				panic(fault.New(fault.CodeWorkerPanic, StageSolve, string(fault.SiteWorkerPanic),
 					fault.Injected(fault.SiteWorkerPanic)).WithFunc(fn.String()).WithPiece(p, pi))
@@ -268,7 +276,7 @@ func solveKernelAttempt(ctx context.Context, fn bigmath.Func, scheme reduction.S
 				rng := rand.New(rand.NewSource(pieceSeed(opt.Seed, fn, p, pieces, pi)))
 				piece, viols, st2, found, perr := solvePiece(ctx, rows, rowMeta, st, nLevels, opt, forceExact, rng)
 				if perr != nil {
-					return perr
+					return pieceOut{}, perr
 				}
 				if st2.injected == 0 {
 					if found {
@@ -279,18 +287,31 @@ func solveKernelAttempt(ctx context.Context, fn bigmath.Func, scheme reduction.S
 					ps.Add(obs.CtrClarksonSamples, int64(st2.samples))
 					ps.Add(obs.CtrClarksonWeightDoublings, int64(st2.lucky))
 					ps.Add(obs.CtrClarksonExactSolves, int64(st2.exactSolves))
-					outs[pi] = pieceOut{piece: piece, viols: viols, stats: st2, found: found, retries: attempt - 1}
-					return nil
+					return pieceOut{piece: piece, viols: viols, stats: st2, found: found, retries: attempt - 1}, nil
 				}
 				// The solve consumed injected faults: its result (and its
 				// effort stats) are poisoned. Discard everything and replay
 				// the piece from its deterministic seed.
 				if attempt > maxInjectedReplays {
-					return fault.New(fault.CodeInjected, StageSolve, "replay",
+					return pieceOut{}, fault.New(fault.CodeInjected, StageSolve, "replay",
 						fmt.Errorf("%d injected solver faults still firing after %d replays", st2.injected, attempt-1)).
 						WithFunc(fn.String()).WithPiece(p, pi).WithAttempt(attempt)
 				}
 			}
+		}
+		outs := make([]pieceOut, pieces)
+		if store != nil && !shard.Solo() {
+			if err := solvePiecesSharded(ctx, store, fn, shard, opt, p, pieces, outs,
+				computePiece, pipeline.Logf(logf)); err != nil {
+				return nil, err
+			}
+		} else if err := parallel.ForEachErr(ctx, opt.Workers, pieces, func(pi int) error {
+			out, err := computePiece(ctx, pi)
+			if err != nil {
+				return err
+			}
+			outs[pi] = out
+			return nil
 		}); err != nil {
 			return nil, poolFault(err, StageSolve, fn)
 		}

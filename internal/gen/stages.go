@@ -113,6 +113,19 @@ func EnumerateStaged(ctx context.Context, fn bigmath.Func, opt Options, store pi
 // once. The returned result is bit-identical for every worker count and
 // cache state.
 func GenerateStaged(ctx context.Context, fn bigmath.Func, opt Options, store pipeline.Store) (*Result, error) {
+	return GenerateStagedSharded(ctx, fn, opt, store, Shard{})
+}
+
+// GenerateStagedSharded is GenerateStaged for one process of a distributed
+// run: the per-piece Clarkson solves inside the Solve stage become
+// claimable work units in the shared store (see SolveShardKey and
+// solvePiecesSharded), so N processes sharing one store split each
+// escalation attempt's pieces and assemble the solve artifact
+// bit-identically to a solo run for any partition. A solo shard (or nil
+// store) is exactly GenerateStaged. Sharding is a separate parameter
+// rather than an Options field because it never influences generated
+// bytes — it must stay out of the options fingerprint.
+func GenerateStagedSharded(ctx context.Context, fn bigmath.Func, opt Options, store pipeline.Store, shard Shard) (*Result, error) {
 	opt.defaults()
 	if err := checkLevels(opt.Levels); err != nil {
 		return nil, err
@@ -133,7 +146,7 @@ func GenerateStaged(ctx context.Context, fn bigmath.Func, opt Options, store pip
 				return nil, err
 			}
 			logf("%v: %s", fn, cs.describe())
-			return solveAll(ctx, fn, scheme, cs, orc, opt, logf)
+			return solveAll(ctx, fn, scheme, cs, orc, opt, store, shard, logf)
 		})
 	if err != nil {
 		return nil, err

@@ -92,6 +92,16 @@ const (
 	CtrStoreBytesRead    Counter = "store.bytes_read"
 	CtrStoreBytesWritten Counter = "store.bytes_written"
 
+	// Store eviction (internal/pipeline EvictingStore; recorded once per
+	// run by internal/cli from the wrapper's stats snapshot, like the
+	// remote transport counters below). Evictions counts artifacts the
+	// LRU budget deleted; bytes_live is the tracked byte footprint at the
+	// end of the run. Both depend on access order under concurrency, so —
+	// like the transport retry count — they describe the run that
+	// happened rather than a worker-count-invariant quantity.
+	CtrStoreEvictions Counter = "store.evictions"
+	CtrStoreBytesLive Counter = "store.bytes_live"
+
 	// Remote store transport (internal/pipeline RemoteStore; recorded
 	// once per run by internal/cli from the client's RemoteStats
 	// snapshot). One round trip per store-operation attempt, so the
@@ -138,6 +148,7 @@ func Taxonomy() []Counter {
 		CtrRowsEnumerated, CtrRowsReduced,
 		CtrSpecialsResolved, CtrVerifyPatched,
 		CtrStoreHits, CtrStoreMisses, CtrStoreBytesRead, CtrStoreBytesWritten,
+		CtrStoreEvictions, CtrStoreBytesLive,
 		CtrRemoteRoundTrips, CtrRemoteRetries, CtrRemoteBytesSent, CtrRemoteBytesRecv,
 		CtrEvalBatches, CtrEvalInputs, CtrEvalSpecialHits, CtrEvalTruncated, CtrEvalFull,
 		CtrServeRequests, CtrServeShed, CtrServeCanceled, CtrServePanics,

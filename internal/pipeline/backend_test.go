@@ -67,6 +67,11 @@ func backendCases(t *testing.T) map[string]func(t *testing.T) Store {
 		"remote": func(t *testing.T) Store {
 			return startRemote(t, NewMemStore())
 		},
+		// The evicting wrapper with an ample budget must be observably
+		// transparent: same events, same faults, same bytes.
+		"evicting": func(t *testing.T) Store {
+			return NewEvictingStore(NewMemStore(), 1<<30)
+		},
 	}
 }
 
